@@ -1,0 +1,301 @@
+// Package arena is the public API of the Arena reproduction: a training
+// system that co-designs inter-job dynamic scheduling and intra-job
+// adaptive parallelism for large models in heterogeneous GPU clusters
+// (Xue et al., "Arena: Efficiently Training Large Models via Dynamic
+// Scheduling and Adaptive Parallelism Co-Design", EUROSYS 2026).
+//
+// The library is organized in layers, all re-exported here:
+//
+//   - Hardware substrate: GPU catalog, roofline model, interconnects and
+//     collective cost models (hw).
+//   - Model zoo: analytic operator graphs for GPT-3, GShard-MoE and
+//     Wide-ResNet (model).
+//   - Parallelism plans and the memory-footprint model (parallel).
+//   - Execution engine: the deterministic simulated testbed against which
+//     every estimator is validated (exec).
+//   - The grid abstraction sharding the joint scheduling-parallelism
+//     space (core).
+//   - The three Arena components: the execution-free parallelism planner,
+//     the single-device disaggregated profiler, and the space-pruned AP
+//     search (planner, profiler, search).
+//   - The cluster scheduler: Arena's generalized event-driven policy plus
+//     the FCFS/Gavel/ElasticFlow/Sia baselines (sched, sched/policy).
+//   - The discrete-event cluster simulator, trace synthesis, performance
+//     database and metrics (sim, trace, perfdb, metrics).
+//
+// # Quick start
+//
+//	eng := arena.NewEngine(42)
+//	graph := arena.MustBuildModel("GPT-1.3B")
+//	spec := arena.MustGPU("A40")
+//
+//	// Plan a grid (4 GPUs, 2 pipeline stages) without any execution.
+//	pl := arena.NewPlanner()
+//	grid := arena.Grid{
+//		Workload: arena.Workload{Model: "GPT-1.3B", GlobalBatch: 128},
+//		GPUType:  "A40", N: 4, S: 2,
+//	}
+//	gp, _ := pl.PlanGrid(graph, grid)
+//
+//	// Measure the proxy plan on the simulated testbed.
+//	res, _ := eng.Evaluate(graph, gp.Proxy.Plan, spec, 128)
+//	fmt.Printf("%s: %.1f samples/s\n", gp.Proxy.Plan, res.Throughput)
+//
+// See examples/ for runnable programs and cmd/arena-bench for the full
+// reproduction of the paper's evaluation.
+package arena
+
+import (
+	"github.com/sjtu-epcc/arena/internal/cluster"
+	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/metrics"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/parallel"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
+	"github.com/sjtu-epcc/arena/internal/planner"
+	"github.com/sjtu-epcc/arena/internal/profiler"
+	"github.com/sjtu-epcc/arena/internal/sched"
+	"github.com/sjtu-epcc/arena/internal/sched/policy"
+	"github.com/sjtu-epcc/arena/internal/search"
+	"github.com/sjtu-epcc/arena/internal/sim"
+	"github.com/sjtu-epcc/arena/internal/trace"
+)
+
+// --- Hardware substrate ---
+
+// GPU is a device specification (catalog entry).
+type GPU = hw.GPU
+
+// ClusterSpec describes a heterogeneous cluster as typed regions.
+type ClusterSpec = hw.ClusterSpec
+
+// Topology identifies a communicator group's physical span.
+type Topology = hw.Topology
+
+// GPUCatalog returns the Table 1 device catalog.
+func GPUCatalog() map[string]GPU { return hw.Catalog() }
+
+// MustGPU returns a catalog device or panics.
+func MustGPU(name string) GPU { return hw.MustLookup(name) }
+
+// The paper's evaluation clusters (§5.1).
+var (
+	ClusterA            = hw.ClusterA
+	ClusterB            = hw.ClusterB
+	ClusterSim          = hw.ClusterSim
+	ClusterBHomogeneous = hw.ClusterBHomogeneous
+)
+
+// --- Models ---
+
+// Graph is a model's operator graph.
+type Graph = model.Graph
+
+// Op is one (clustered) operator.
+type Op = model.Op
+
+// Workload pairs a model with a global batch size.
+type Workload = model.Workload
+
+// BuildModel constructs the clustered operator graph for a Table 2 model
+// variant ("GPT-1.3B", "MoE-2.4B", "WRes-1B", ...).
+func BuildModel(name string) (*Graph, error) { return model.BuildClustered(name) }
+
+// MustBuildModel is BuildModel or panic.
+func MustBuildModel(name string) *Graph { return model.MustBuildClustered(name) }
+
+// ModelNames lists every available model variant.
+func ModelNames() []string { return model.Names() }
+
+// --- Parallelism plans ---
+
+// Plan is a hybrid parallelism plan (pipeline stages × DP × TP).
+type Plan = parallel.Plan
+
+// StagePlan is one pipeline stage's operator range and intra-stage shape.
+type StagePlan = parallel.StagePlan
+
+// PureDP returns the single-stage pure data-parallel plan.
+func PureDP(g *Graph, n int) *Plan { return parallel.PureDP(g, n) }
+
+// PureTP returns the single-stage pure tensor-parallel plan.
+func PureTP(g *Graph, n int) *Plan { return parallel.PureTP(g, n) }
+
+// PlanMemory returns the plan's peak per-GPU footprint and feasibility.
+func PlanMemory(g *Graph, p *Plan, spec GPU, globalBatch int) (float64, bool) {
+	return parallel.PlanMemory(g, p, spec, globalBatch)
+}
+
+// --- Execution engine (simulated testbed) ---
+
+// Engine is the deterministic execution engine.
+type Engine = exec.Engine
+
+// ExecResult is an engine measurement.
+type ExecResult = exec.Result
+
+// NewEngine returns an engine seeded for reproducibility.
+func NewEngine(seed uint64) *Engine { return exec.NewEngine(seed) }
+
+// --- Grid abstraction (the paper's core idea, §3.2) ---
+
+// Grid is one subspace of the joint scheduling-parallelism space.
+type Grid = core.Grid
+
+// Resource is a grid's (type, count) scheduling coordinate.
+type Resource = core.Resource
+
+// EnumerateGrids lists a workload's grids over types and counts.
+func EnumerateGrids(w Workload, numOps int, gpuTypes []string, maxN int) []Grid {
+	return core.Enumerate(w, numOps, gpuTypes, maxN)
+}
+
+// --- Planner (§3.3) ---
+
+// Planner is the execution-free load-aware parallelism planner.
+type Planner = planner.Planner
+
+// GridPlan is the planner's per-grid output (proxy + Pareto frontier).
+type GridPlan = planner.GridPlan
+
+// PlanCandidate is one candidate plan with its planning metrics.
+type PlanCandidate = planner.Candidate
+
+// NewPlanner returns a planner with paper defaults.
+func NewPlanner() *Planner { return planner.New() }
+
+// --- Profiler (§3.4) ---
+
+// Profiler performs single-device disaggregated profiling.
+type Profiler = profiler.Profiler
+
+// CommTable is the offline-sampled communication latency table.
+type CommTable = profiler.CommTable
+
+// ProfileEstimate is a profiled grid estimate.
+type ProfileEstimate = profiler.Estimate
+
+// JobProfile aggregates a job's profiled grids.
+type JobProfile = profiler.JobProfile
+
+// SampleComm builds the offline communication table over the engine.
+func SampleComm(eng *Engine, gpuTypes []string, maxWorkers int) (*CommTable, error) {
+	return profiler.OfflineSampleComm(eng, gpuTypes, maxWorkers)
+}
+
+// NewProfiler returns a profiler over an engine and a sampled table.
+func NewProfiler(eng *Engine, ct *CommTable) *Profiler { return profiler.New(eng, ct) }
+
+// ProfileJob plans and profiles every grid of a workload.
+func ProfileJob(pl *Planner, pr *Profiler, g *Graph, w Workload, gpuTypes []string, maxN int) (*JobProfile, error) {
+	return profiler.ProfileJob(pl, pr, g, w, gpuTypes, maxN)
+}
+
+// --- AP search (§3.6) ---
+
+// SearchOutcome is a search result with cost accounting.
+type SearchOutcome = search.Outcome
+
+// FullSearch runs the Alpa-style full-space AP search.
+func FullSearch(eng *Engine, g *Graph, spec GPU, globalBatch, n int) (SearchOutcome, error) {
+	return search.FullSearch(eng, g, spec, globalBatch, n)
+}
+
+// PrunedSearch runs Arena's space-pruned AP search for a selected grid.
+func PrunedSearch(eng *Engine, g *Graph, spec GPU, globalBatch, n int, gp *GridPlan) (SearchOutcome, error) {
+	return search.PrunedSearch(eng, g, spec, globalBatch, n, gp)
+}
+
+// --- Scheduling ---
+
+// Policy is a cluster scheduling policy with its knowledge models.
+type Policy = sched.Policy
+
+// ArenaPolicy is Arena's generalized event-driven scheduler (Algorithm 1).
+type ArenaPolicy = sched.ArenaPolicy
+
+// Objective selects the scheduling goal (throughput, deadline, fairness).
+type Objective = sched.Objective
+
+// Scheduling objectives (§3.5).
+const (
+	ObjThroughput = sched.ObjThroughput
+	ObjDeadline   = sched.ObjDeadline
+	ObjFairness   = sched.ObjFairness
+)
+
+// NewArenaPolicy returns the paper-default Arena scheduler.
+func NewArenaPolicy() *ArenaPolicy { return sched.NewArena() }
+
+// Baseline schedulers (§5.1).
+var (
+	NewFCFS        = policy.NewFCFS
+	NewGavel       = policy.NewGavel
+	NewElasticFlow = policy.NewElasticFlow
+	NewSia         = policy.NewSia
+)
+
+// --- Cluster state, traces, performance database, simulation ---
+
+// Cluster tracks runtime allocation state with buddy locality.
+type Cluster = cluster.Cluster
+
+// NewCluster builds a fully free cluster from a spec.
+func NewCluster(spec ClusterSpec) (*Cluster, error) { return cluster.New(spec) }
+
+// TraceJob is one synthetic trace record.
+type TraceJob = trace.Job
+
+// TraceConfig drives trace synthesis.
+type TraceConfig = trace.Config
+
+// GenerateTrace synthesizes a deterministic production-shaped trace.
+func GenerateTrace(cfg TraceConfig) ([]TraceJob, error) { return trace.Generate(cfg) }
+
+// Trace configurations from the paper (§5.1–5.3).
+var (
+	PhillySixHour = trace.PhillySixHour
+	PhillyWeek    = trace.PhillyWeek
+	HeliosDay     = trace.HeliosDay
+	PAIDay        = trace.PAIDay
+)
+
+// PerfDB is the performance database all schedulers consult.
+type PerfDB = perfdb.DB
+
+// PerfDBOptions configure a database build.
+type PerfDBOptions = perfdb.Options
+
+// BuildPerfDB constructs the database over the engine.
+func BuildPerfDB(eng *Engine, opts PerfDBOptions) (*PerfDB, error) { return perfdb.Build(eng, opts) }
+
+// SimConfig drives one cluster simulation.
+type SimConfig = sim.Config
+
+// SimResult is a simulation outcome with aggregated metrics.
+type SimResult = sim.Result
+
+// Simulate runs the discrete-event cluster simulation.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// Summary aggregates scheduling statistics (JCT, queuing, throughput).
+type Summary = metrics.Summary
+
+// --- Intra-job heterogeneity extension (§6) ---
+
+// HeteroPool is a per-type GPU budget for one job.
+type HeteroPool = planner.HeteroPool
+
+// HeteroPlan is a pipeline whose stages run on different GPU types.
+type HeteroPlan = exec.HeteroPlan
+
+// HeteroStage is one stage of a heterogeneous pipeline.
+type HeteroStage = exec.HeteroStage
+
+// PlanHetero partitions a model across a mixed GPU pool with
+// capability-weighted stage assignment (§6's intra-job heterogeneity).
+func PlanHetero(pl *Planner, g *Graph, pool HeteroPool, s, globalBatch int) (*HeteroPlan, error) {
+	return pl.PlanHetero(g, pool, s, globalBatch)
+}

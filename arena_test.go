@@ -1,0 +1,112 @@
+// Tests of the public facade: the API a downstream user programs against.
+package arena_test
+
+import (
+	"testing"
+
+	arena "github.com/sjtu-epcc/arena"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The doc-comment quick start must work end to end.
+	eng := arena.NewEngine(42)
+	graph := arena.MustBuildModel("GPT-1.3B")
+	spec := arena.MustGPU("A40")
+
+	pl := arena.NewPlanner()
+	grid := arena.Grid{
+		Workload: arena.Workload{Model: "GPT-1.3B", GlobalBatch: 128},
+		GPUType:  "A40", N: 4, S: 2,
+	}
+	gp, err := pl.PlanGrid(graph, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gp.Feasible || gp.Proxy == nil {
+		t.Fatal("grid should be feasible")
+	}
+	res, err := eng.Evaluate(graph, gp.Proxy.Plan, spec, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fits || res.Throughput <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestCatalogAndClusters(t *testing.T) {
+	if len(arena.GPUCatalog()) != 6 {
+		t.Error("catalog should have the 6 Table 1 GPUs")
+	}
+	if arena.ClusterSim().TotalGPUs() != 1280 {
+		t.Error("simulated cluster should have 1280 GPUs")
+	}
+	if len(arena.ModelNames()) != 14 {
+		t.Errorf("expected 14 model variants, got %d", len(arena.ModelNames()))
+	}
+}
+
+func TestFacadeSearches(t *testing.T) {
+	eng := arena.NewEngine(42)
+	g := arena.MustBuildModel("MoE-1.3B")
+	spec := arena.MustGPU("A40")
+	full, err := arena.FullSearch(eng, g, spec, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Feasible() {
+		t.Fatal("full search found nothing")
+	}
+	pl := arena.NewPlanner()
+	gp, err := pl.PlanGrid(g, arena.Grid{
+		Workload: arena.Workload{Model: "MoE-1.3B", GlobalBatch: 256},
+		GPUType:  "A40", N: 4, S: full.Plan.PipelineDegree(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := arena.PrunedSearch(eng, g, spec, 256, 4, gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Result.Throughput < 0.85*full.Result.Throughput {
+		t.Errorf("pruned quality too low: %v vs %v", pruned.Result.Throughput, full.Result.Throughput)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	spec := arena.ClusterA()
+	jobs, err := arena.GenerateTrace(arena.TraceConfig{
+		Kind: "philly", Duration: 3600, NumJobs: 12, Seed: 3,
+		GPUTypes: spec.GPUTypes(), MaxGPUs: 8,
+		Workloads: []arena.Workload{{Model: "WRes-1B", GlobalBatch: 256}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := arena.BuildPerfDB(arena.NewEngine(42), arena.PerfDBOptions{
+		GPUTypes: spec.GPUTypes(), MaxN: 8,
+		Workloads: []arena.Workload{{Model: "WRes-1B", GlobalBatch: 256}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arena.Simulate(arena.SimConfig{
+		Spec: spec, Policy: arena.NewArenaPolicy(), Jobs: jobs, DB: db,
+		RoundSeconds: 300, IncludeUnfinished: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != 12 {
+		t.Errorf("finished %d/12", res.Finished)
+	}
+}
+
+func TestObjectiveConstants(t *testing.T) {
+	p := arena.NewArenaPolicy()
+	p.Objective = arena.ObjFairness
+	if p.Name() != "arena-fair" {
+		t.Errorf("name = %s", p.Name())
+	}
+}

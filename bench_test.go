@@ -1,0 +1,175 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5), one testing.B benchmark per experiment, plus
+// micro-benchmarks of the core primitives. The figure benchmarks print
+// their tables on the first iteration so `go test -bench=.` doubles as a
+// report generator; deterministic seeds make every run identical.
+package arena_test
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	arena "github.com/sjtu-epcc/arena"
+	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/experiments"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/planner"
+	"github.com/sjtu-epcc/arena/internal/profiler"
+	"github.com/sjtu-epcc/arena/internal/search"
+)
+
+var (
+	envOnce  sync.Once
+	benchEnv *experiments.Env
+)
+
+func sharedEnv() *experiments.Env {
+	envOnce.Do(func() { benchEnv = experiments.NewEnv(42) })
+	return benchEnv
+}
+
+// benchExperiment runs one registered experiment b.N times, printing the
+// resulting table once.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	env := sharedEnv()
+	ex, err := env.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		table, err := ex.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var w io.Writer = os.Stdout
+			if testing.Short() {
+				w = io.Discard
+			}
+			table.Fprint(w)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure (§5). ---
+
+func BenchmarkFig02APDynamicity(b *testing.B)     { benchExperiment(b, "fig2") }
+func BenchmarkFig03ViewInversion(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkFig06PartitionBalance(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkEtaKnob(b *testing.B)               { benchExperiment(b, "eta") }
+func BenchmarkFig10Testbeds(b *testing.B)         { benchExperiment(b, "fig10") }
+func BenchmarkFidelity(b *testing.B)              { benchExperiment(b, "fidelity") }
+func BenchmarkFig11WeekSeries(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12LargeScale(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13HeliosPAI(b *testing.B)        { benchExperiment(b, "fig13") }
+func BenchmarkFig14ParetoProxy(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig15PrunedSearch(b *testing.B)     { benchExperiment(b, "fig15") }
+func BenchmarkFig16Profiling(b *testing.B)        { benchExperiment(b, "fig16") }
+func BenchmarkDeadline(b *testing.B)              { benchExperiment(b, "ddl") }
+func BenchmarkFig17Ablation(b *testing.B)         { benchExperiment(b, "fig17") }
+func BenchmarkFig18Breakdown(b *testing.B)        { benchExperiment(b, "fig18") }
+func BenchmarkFig19LifespanScaling(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkSensitivityPD(b *testing.B)         { benchExperiment(b, "sens") }
+func BenchmarkOverheads(b *testing.B)             { benchExperiment(b, "overheads") }
+func BenchmarkDesignAblation(b *testing.B)        { benchExperiment(b, "design") }
+
+// --- Micro-benchmarks of the core primitives. ---
+
+func BenchmarkKernelTime(b *testing.B) {
+	eng := arena.NewEngine(42)
+	g := arena.MustBuildModel("GPT-1.3B")
+	spec := arena.MustGPU("A40")
+	op := g.Ops[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.KernelTime(op, spec, 16, 2)
+	}
+}
+
+func BenchmarkCollectiveTime(b *testing.B) {
+	eng := arena.NewEngine(42)
+	topo := hw.Topology{GPUType: "A40", Workers: 8, CrossNode: true, NICShare: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.CollectiveTime(hw.AllReduce, topo, 1e9)
+	}
+}
+
+func BenchmarkEvaluatePlan(b *testing.B) {
+	eng := arena.NewEngine(42)
+	g := arena.MustBuildModel("GPT-1.3B")
+	spec := arena.MustGPU("A40")
+	plan := arena.PureDP(g, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Evaluate(g, plan, spec, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanGrid(b *testing.B) {
+	pl := planner.New()
+	g := arena.MustBuildModel("GPT-1.3B")
+	grid := core.Grid{
+		Workload: model.Workload{Model: "GPT-1.3B", GlobalBatch: 128},
+		GPUType:  "A40", N: 8, S: 4,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.PlanGrid(g, grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullSearch8GPU(b *testing.B) {
+	eng := arena.NewEngine(42)
+	g := arena.MustBuildModel("GPT-1.3B")
+	spec := arena.MustGPU("A40")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.FullSearch(eng, g, spec, 128, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProfileGridPlan(b *testing.B) {
+	eng := arena.NewEngine(42)
+	ct, err := profiler.OfflineSampleComm(eng, []string{"A40"}, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := arena.MustBuildModel("GPT-1.3B")
+	gp, err := planner.New().PlanGrid(g, core.Grid{
+		Workload: model.Workload{Model: "GPT-1.3B", GlobalBatch: 128},
+		GPUType:  "A40", N: 4, S: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := profiler.New(eng, ct)
+		if _, err := pr.ProfileGridPlan(g, gp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildModelGraphs(b *testing.B) {
+	names := model.Names()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			if _, err := model.BuildClustered(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command arena-bench regenerates the paper's evaluation tables and
+// figures (§5). With no arguments it runs the full suite in paper order;
+// -fig selects a comma-separated subset.
+//
+// Usage:
+//
+//	arena-bench                 # run everything
+//	arena-bench -list           # list experiment IDs
+//	arena-bench -fig fig11,fig12
+//	arena-bench -seed 7         # change the determinism seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/sjtu-epcc/arena/internal/experiments"
+)
+
+func main() {
+	var (
+		figs = flag.String("fig", "all", "comma-separated experiment IDs, or 'all'")
+		list = flag.Bool("list", false, "list available experiments and exit")
+		seed = flag.Uint64("seed", 42, "determinism seed")
+	)
+	flag.Parse()
+
+	env := experiments.NewEnv(*seed)
+	if *list {
+		for _, ex := range env.Registry() {
+			fmt.Printf("%-10s %s\n", ex.ID, ex.Brief)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *figs == "all" || *figs == "" {
+		selected = env.Registry()
+	} else {
+		for _, id := range strings.Split(*figs, ",") {
+			ex, err := env.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, ex)
+		}
+	}
+
+	for _, ex := range selected {
+		start := time.Now()
+		table, err := ex.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.ID, err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  (%s completed in %v)\n\n", ex.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

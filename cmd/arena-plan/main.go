@@ -1,0 +1,96 @@
+// Command arena-plan runs Arena's execution-free parallelism planner on
+// one model and resource, printing the per-grid proxy plans and Pareto
+// frontiers — the analogue of the paper artifact's crius_cell_profile.py
+// (§A.4.3; "cell" is the artifact's name for a grid).
+//
+// Usage:
+//
+//	arena-plan -model GPT-1.3B -batch 128 -gpu A40 -n 4
+//	arena-plan -model WRes-1B -batch 256 -gpu A40 -n 4 -s 2 -frontier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/planner"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "GPT-1.3B", "model variant (see -models)")
+		batch     = flag.Int("batch", 128, "global batch size")
+		gpu       = flag.String("gpu", "A40", "GPU type")
+		n         = flag.Int("n", 4, "allocated GPU count (power of two)")
+		s         = flag.Int("s", 0, "pipeline degree; 0 = enumerate all grids")
+		frontier  = flag.Bool("frontier", false, "print the Pareto frontier per grid")
+		measure   = flag.Bool("measure", true, "measure proxy plans on the simulated testbed")
+		seed      = flag.Uint64("seed", 42, "determinism seed")
+		models    = flag.Bool("models", false, "list model variants and exit")
+	)
+	flag.Parse()
+
+	if *models {
+		for _, name := range model.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	g, err := model.BuildClustered(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := hw.Lookup(*gpu)
+	if err != nil {
+		fatal(err)
+	}
+	w := model.Workload{Model: *modelName, GlobalBatch: *batch}
+	eng := exec.NewEngine(*seed)
+	pl := planner.New()
+
+	degrees := core.PipelineDegrees(*n, len(g.Ops))
+	if *s > 0 {
+		degrees = []int{*s}
+	}
+	fmt.Printf("planning %s (batch %d, %.2fB params) on %dx%s\n\n",
+		*modelName, *batch, g.Params()/1e9, *n, *gpu)
+
+	for _, deg := range degrees {
+		grid := core.Grid{Workload: w, GPUType: *gpu, N: *n, S: deg}
+		gp, err := pl.PlanGrid(g, grid)
+		if err != nil {
+			fatal(err)
+		}
+		if !gp.Feasible {
+			fmt.Printf("grid s=%d: infeasible (no partition fits %s memory)\n", deg, *gpu)
+			continue
+		}
+		fmt.Printf("grid s=%d: proxy %-24s b_comp=%.3f l_comm=%.4fs  (%d partitions, frontier %d)\n",
+			deg, gp.Proxy.Plan, gp.Proxy.BComp, gp.Proxy.LComm,
+			gp.CandidatesEvaluated, len(gp.Frontier))
+		if *measure {
+			res, err := eng.Evaluate(g, gp.Proxy.Plan, spec, *batch)
+			if err == nil && res.Fits {
+				fmt.Printf("          measured: %.3fs/iter, %.1f samples/s, peak mem %.1f GB\n",
+					res.IterTime, res.Throughput, res.MaxMem/hw.GiB)
+			}
+		}
+		if *frontier {
+			for i, c := range gp.Frontier {
+				fmt.Printf("          frontier[%d]: %-24s b_comp=%.3f l_comm=%.4fs ops=%v gpus=%v\n",
+					i, c.Plan, c.BComp, c.LComm, c.OpsPerStage, c.GPUsPerStage)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arena-plan:", err)
+	os.Exit(1)
+}

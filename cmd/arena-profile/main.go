@@ -1,0 +1,93 @@
+// Command arena-profile runs the single-device disaggregated profiler and
+// compares its end-to-end estimate against direct measurement on the
+// simulated testbed — the analogue of the paper artifact's
+// runtime_profiler.py with --estimate_e2e vs --measure_with_alpa
+// (§A.4.2).
+//
+// Usage:
+//
+//	arena-profile -model WRes-1B -batch 256 -gpu A40 -n 4 -s 4
+//	arena-profile -model GPT-2.6B -batch 128 -gpu V100 -n 4   # all degrees
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/planner"
+	"github.com/sjtu-epcc/arena/internal/profiler"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "WRes-1B", "model variant")
+		batch     = flag.Int("batch", 256, "global batch size")
+		gpu       = flag.String("gpu", "A40", "GPU type")
+		n         = flag.Int("n", 4, "allocated GPU count")
+		s         = flag.Int("s", 0, "pipeline degree; 0 = all grids")
+		seed      = flag.Uint64("seed", 42, "determinism seed")
+	)
+	flag.Parse()
+
+	g, err := model.BuildClustered(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := hw.Lookup(*gpu)
+	if err != nil {
+		fatal(err)
+	}
+	eng := exec.NewEngine(*seed)
+
+	fmt.Printf("offline-sampling communication primitives for %s...\n", *gpu)
+	ct, err := profiler.OfflineSampleComm(eng, []string{*gpu}, 16)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %d (primitive, topology) tables, modeled one-shot cost %.1fh\n\n",
+		len(ct.Keys()), ct.OfflineCostSeconds/3600)
+
+	pl := planner.New()
+	pr := profiler.New(eng, ct)
+	w := model.Workload{Model: *modelName, GlobalBatch: *batch}
+
+	degrees := core.PipelineDegrees(*n, len(g.Ops))
+	if *s > 0 {
+		degrees = []int{*s}
+	}
+	fmt.Printf("profiling %s (batch %d) on %dx%s with a single profiling GPU\n\n", *modelName, *batch, *n, *gpu)
+	for _, deg := range degrees {
+		gp, err := pl.PlanGrid(g, core.Grid{Workload: w, GPUType: *gpu, N: *n, S: deg})
+		if err != nil {
+			fatal(err)
+		}
+		if !gp.Feasible {
+			fmt.Printf("s=%d: infeasible\n", deg)
+			continue
+		}
+		est, err := pr.ProfileGridPlan(g, gp)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := eng.Evaluate(g, gp.Proxy.Plan, spec, *batch)
+		if err != nil {
+			fatal(err)
+		}
+		oracle := exec.DirectMeasureCost(res, gp.Proxy.Plan, pr.Trials)
+		errPct := 100 * (est.IterTime - res.IterTime) / res.IterTime
+		fmt.Printf("s=%d plan %-24s estimated %.3fs/iter, measured %.3fs/iter (err %+.1f%%)\n",
+			deg, gp.Proxy.Plan, est.IterTime, res.IterTime, errPct)
+		fmt.Printf("     profiling cost %.1f GPU*s (%d/%d unique ops) vs direct measurement %.1f GPU*s => %.1fx cheaper\n",
+			est.ProfileGPUTime, est.UniqueOps, est.TotalOps, oracle, oracle/est.ProfileGPUTime)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arena-profile:", err)
+	os.Exit(1)
+}

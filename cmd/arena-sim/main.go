@@ -1,0 +1,162 @@
+// Command arena-sim runs trace-driven cluster scheduling simulations —
+// the analogue of the paper artifact's simulator.py (§A.4.4).
+//
+// Usage:
+//
+//	arena-sim -policy arena -trace philly -cluster sim -jobs 3000
+//	arena-sim -policy all -trace philly -cluster a
+//	arena-sim -policy sia -trace pai -cluster sim -jobs 450
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/metrics"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
+	"github.com/sjtu-epcc/arena/internal/sched"
+	"github.com/sjtu-epcc/arena/internal/sched/policy"
+	"github.com/sjtu-epcc/arena/internal/sim"
+	"github.com/sjtu-epcc/arena/internal/trace"
+)
+
+func main() {
+	var (
+		policyName  = flag.String("policy", "all", "fcfs|gavel|elasticflow|sia|arena|all")
+		traceKind   = flag.String("trace", "philly", "philly|helios|pai")
+		clusterName = flag.String("cluster", "sim", "a|b|sim|b-homogeneous")
+		jobs        = flag.Int("jobs", 0, "job count (0 = per-trace default)")
+		scale       = flag.Float64("scale", 12, "job lifespan scale")
+		seed        = flag.Uint64("seed", 42, "determinism seed")
+		rounds      = flag.Int("rounds", 0, "max scheduling rounds (0 = auto)")
+	)
+	flag.Parse()
+
+	spec, err := pickCluster(*clusterName)
+	if err != nil {
+		fatal(err)
+	}
+	types := spec.GPUTypes()
+
+	cfg, err := pickTrace(*traceKind, *seed, types, *jobs)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.LifespanScale = *scale
+	traceJobs, err := trace.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("building performance database for %v (this exercises the planner, profiler and AP searches)...\n", types)
+	start := time.Now()
+	db, err := perfdb.Build(exec.NewEngine(*seed), perfdb.Options{
+		Seed: *seed, GPUTypes: types, MaxN: 16,
+		Workloads: trace.DefaultWorkloads(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %d entries in %v\n\n", len(db.Keys()), time.Since(start).Round(time.Millisecond))
+
+	pols, err := pickPolicies(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	window := int(cfg.Duration / 300)
+	fmt.Printf("%-16s %10s %10s %10s %10s %8s %9s\n",
+		"policy", "avgJCT(s)", "avgQ(s)", "avgThr", "peakThr", "finished", "resched")
+	for _, p := range pols {
+		res, err := sim.Run(sim.Config{
+			Spec: spec, Policy: p, Jobs: traceJobs, DB: db,
+			RoundSeconds: 300, MaxRounds: pick(*rounds, 2*window+576),
+			IncludeUnfinished: true, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		series := res.ThroughputSeries
+		if len(series) > window {
+			series = series[:window]
+		}
+		fmt.Printf("%-16s %10.0f %10.0f %10.1f %10.1f %5d/%-3d %9.2f\n",
+			p.Name(), res.AvgJCT, res.AvgQueue,
+			metrics.Mean(series), metrics.Max(series),
+			res.Finished, res.Total, res.AvgReschedules)
+	}
+}
+
+func pickCluster(name string) (hw.ClusterSpec, error) {
+	switch name {
+	case "a":
+		return hw.ClusterA(), nil
+	case "b":
+		return hw.ClusterB(), nil
+	case "sim":
+		return hw.ClusterSim(), nil
+	case "b-homogeneous":
+		return hw.ClusterBHomogeneous(), nil
+	default:
+		return hw.ClusterSpec{}, fmt.Errorf("unknown cluster %q", name)
+	}
+}
+
+func pickTrace(kind string, seed uint64, types []string, jobs int) (trace.Config, error) {
+	switch kind {
+	case "philly":
+		if jobs == 0 {
+			jobs = 3000
+		}
+		return trace.PhillyWeek(seed, types, jobs), nil
+	case "helios":
+		if jobs == 0 {
+			jobs = 900
+		}
+		return trace.HeliosDay(seed, types, jobs), nil
+	case "pai":
+		if jobs == 0 {
+			jobs = 450
+		}
+		return trace.PAIDay(seed, types, jobs), nil
+	default:
+		return trace.Config{}, fmt.Errorf("unknown trace %q", kind)
+	}
+}
+
+func pickPolicies(name string) ([]sched.Policy, error) {
+	switch name {
+	case "fcfs":
+		return []sched.Policy{policy.NewFCFS()}, nil
+	case "gavel":
+		return []sched.Policy{policy.NewGavel()}, nil
+	case "elasticflow":
+		return []sched.Policy{policy.NewElasticFlow()}, nil
+	case "sia":
+		return []sched.Policy{policy.NewSia()}, nil
+	case "arena":
+		return []sched.Policy{sched.NewArena()}, nil
+	case "all":
+		return []sched.Policy{
+			policy.NewFCFS(), policy.NewGavel(), policy.NewElasticFlow(),
+			policy.NewSia(), sched.NewArena(),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func pick(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arena-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Intra-job heterogeneity (§6): parallelize one model across *mixed* GPU
+// types, with pipeline stages as the heterogeneity boundary. The paper
+// leaves this as future work and sketches the required modifications —
+// capability-quantified operator loads and per-stage GPU assignment —
+// which this reproduction implements.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	arena "github.com/sjtu-epcc/arena"
+)
+
+// poolLabel renders a pool compactly in canonical type order.
+func poolLabel(pool arena.HeteroPool) string {
+	out := ""
+	for _, typ := range []string{"H100", "A100", "L20", "A40", "A10", "V100"} {
+		if n := pool[typ]; n > 0 {
+			if out != "" {
+				out += "+"
+			}
+			out += fmt.Sprintf("%dx%s", n, typ)
+		}
+	}
+	return out
+}
+
+func main() {
+	eng := arena.NewEngine(42)
+	pl := arena.NewPlanner()
+	g := arena.MustBuildModel("GPT-2.6B")
+	const gb = 128
+
+	fmt.Println("GPT-2.6B across mixed pools (2 pipeline stages):")
+	pools := []arena.HeteroPool{
+		{"V100": 4},            // slow homogeneous
+		{"A100": 4},            // fast homogeneous
+		{"A100": 2, "V100": 2}, // half fast, half slow
+		{"H100": 2, "V100": 4}, // very fast + many slow
+	}
+	for _, pool := range pools {
+		label := poolLabel(pool)
+		plan, err := arena.PlanHetero(pl, g, pool, 2, gb)
+		if err != nil {
+			fmt.Printf("  %-20s infeasible: %v\n", label, err)
+			continue
+		}
+		res, err := eng.EvaluateHetero(g, plan, gb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		desc := ""
+		for i, st := range plan.Stages {
+			if i > 0 {
+				desc += " | "
+			}
+			desc += fmt.Sprintf("stage%d: %dx%s DP%d TP%d", i, st.GPUs(), st.GPUType, st.DP, st.TP)
+		}
+		fmt.Printf("  %-20s %7.1f samples/s   %s\n", label, res.Throughput, desc)
+	}
+	fmt.Println("\nStages are the heterogeneity boundary: only small boundary activations cross regions,")
+	fmt.Println("so mixing types costs far less between stages than inside a DP/TP group (§3.5).")
+}

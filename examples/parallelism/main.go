@@ -1,0 +1,88 @@
+// Parallelism tour: how the optimal hybrid plan shifts across models,
+// GPU counts, types, and interconnects — the phenomenon behind Fig. 2 of
+// the paper and the reason static-parallelism scheduling misallocates.
+//
+//	go run ./examples/parallelism
+package main
+
+import (
+	"fmt"
+	"log"
+
+	arena "github.com/sjtu-epcc/arena"
+)
+
+func main() {
+	eng := arena.NewEngine(42)
+
+	fmt.Println("=== Scaling the GPU count (A40) ===")
+	for _, m := range []struct {
+		name string
+		gb   int
+	}{
+		{"WRes-0.5B", 256}, {"GPT-1.3B", 128}, {"MoE-1.3B", 256},
+	} {
+		graph := arena.MustBuildModel(m.name)
+		fmt.Printf("%-10s:", m.name)
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			out, err := arena.FullSearch(eng, graph, arena.MustGPU("A40"), m.gb, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if out.Feasible() {
+				fmt.Printf("  %2d GPUs: %7.1f sm/s (%s)", n, out.Result.Throughput, out.Plan.Degrees())
+			} else {
+				fmt.Printf("  %2d GPUs: OOM", n)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n=== Changing the GPU type (4 GPUs) ===")
+	for _, m := range []struct {
+		name string
+		gb   int
+	}{
+		{"WRes-2B", 512}, {"GPT-2.6B", 128}, {"MoE-2.4B", 256},
+	} {
+		graph := arena.MustBuildModel(m.name)
+		fmt.Printf("%-10s:", m.name)
+		for _, typ := range []string{"V100", "A100", "A40", "H100"} {
+			out, err := arena.FullSearch(eng, graph, arena.MustGPU(typ), m.gb, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if out.Feasible() {
+				fmt.Printf("  %5s: %7.1f (%s)", typ, out.Result.Throughput, out.Plan.Degrees())
+			} else {
+				fmt.Printf("  %5s: OOM", typ)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n=== Memory: why DP's footprint hides dense allocations (§2.2 Case#2) ===")
+	for _, name := range []string{"GPT-2.6B", "MoE-2.4B", "GPT-6.7B"} {
+		graph := arena.MustBuildModel(name)
+		spec := arena.MustGPU("A40")
+		fmt.Printf("%-10s on A40:", name)
+		for _, n := range []int{1, 2, 4, 8} {
+			_, dpFits := arena.PlanMemory(graph, arena.PureDP(graph, n), spec, 128)
+			out, err := arena.FullSearch(eng, graph, spec, 128, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dp := "DP:OOM"
+			if dpFits {
+				dp = "DP:ok"
+			}
+			ap := "AP:OOM"
+			if out.Feasible() {
+				ap = "AP:" + out.Plan.Degrees()
+			}
+			fmt.Printf("  n=%d[%s %s]", n, dp, ap)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nA job an SP-aware scheduler believes needs 8 GPUs often runs on 2 with AP.")
+}

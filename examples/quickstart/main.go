@@ -1,0 +1,94 @@
+// Quickstart: plan, profile, and execute one large-model training job.
+//
+// This walks the full Arena pipeline for a single job on a fixed
+// allocation (4×A40): the execution-free planner shards the joint space
+// into grids and picks a proxy plan per pipeline degree (§3.3), the
+// disaggregated profiler estimates each proxy on a single device (§3.4),
+// the best grid drives the space-pruned AP search (§3.6), and the
+// simulated testbed measures the deployed plan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	arena "github.com/sjtu-epcc/arena"
+)
+
+func main() {
+	const (
+		modelName   = "GPT-1.3B"
+		globalBatch = 128
+		gpuType     = "A40"
+		numGPUs     = 4
+	)
+
+	eng := arena.NewEngine(42)
+	graph := arena.MustBuildModel(modelName)
+	spec := arena.MustGPU(gpuType)
+	w := arena.Workload{Model: modelName, GlobalBatch: globalBatch}
+
+	fmt.Printf("model %s: %.2fB params, %.2f TFLOPs/sample forward, %d clustered operators\n\n",
+		modelName, graph.Params()/1e9, graph.FwdFLOPs()/1e12, len(graph.Ops))
+
+	// 1. Offline: sample communication primitives once per cluster.
+	comm, err := arena.SampleComm(eng, []string{gpuType}, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Plan + profile every grid of the job (all pipeline degrees).
+	planner := arena.NewPlanner()
+	prof := arena.NewProfiler(eng, comm)
+	jobProfile, err := arena.ProfileJob(planner, prof, graph, w, []string{gpuType}, numGPUs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d feasible grids at a total single-GPU cost of %.1f GPU-seconds\n",
+		len(jobProfile.Estimates), jobProfile.TotalProfileGPUTime)
+
+	// 3. The scheduler-side query: best grid for this resource.
+	resource := arena.Resource{GPUType: gpuType, N: numGPUs}
+	bestGrid, ok := jobProfile.BestGrid(resource)
+	if !ok {
+		log.Fatalf("no feasible grid for %v", resource)
+	}
+	est := jobProfile.Estimates[bestGrid]
+	fmt.Printf("best grid: %v -> proxy %s, estimated %.1f samples/s\n",
+		bestGrid, est.Plan, est.Throughput)
+
+	// 4. Deployment: space-pruned AP search seeded by the grid's frontier.
+	outcome, err := arena.PrunedSearch(eng, graph, spec, globalBatch, numGPUs,
+		jobProfile.GridPlans[bestGrid])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pruned search: plan %s in %.0f modeled seconds (%d stage candidates)\n",
+		outcome.Plan, outcome.SearchTime, outcome.StageEvals)
+
+	// 5. Compare against the full-space (Alpa-style) search.
+	full, err := arena.FullSearch(eng, graph, spec, globalBatch, numGPUs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full search:   plan %s in %.0f modeled seconds (%d stage candidates)\n",
+		full.Plan, full.SearchTime, full.StageEvals)
+	fmt.Printf("\nArena keeps %.1f%% of the full-search throughput at %.1fx lower search cost\n",
+		100*outcome.Result.Throughput/full.Result.Throughput,
+		full.SearchTime/outcome.SearchTime)
+
+	// 6. And the static-parallelism contrast that motivates it all (§2.2).
+	dp, err := eng.Evaluate(graph, arena.PureDP(graph, numGPUs), spec, globalBatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dp.Fits {
+		fmt.Printf("pure data parallelism would reach only %.1f samples/s (%.0f%% of Arena's plan)\n",
+			dp.Throughput, 100*dp.Throughput/outcome.Result.Throughput)
+	} else {
+		fmt.Printf("pure data parallelism does not even fit %s memory (needs %.0f GB)\n",
+			gpuType, dp.MaxMem/(1<<30))
+	}
+}

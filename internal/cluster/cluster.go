@@ -1,0 +1,255 @@
+// Package cluster tracks runtime GPU-cluster state for the scheduler:
+// typed homogeneous regions, per-node free maps, buddy-style locality-
+// preserving allocation, and fragmentation accounting (§3.5: "to ensure
+// job locality, Arena follows the buddy allocation rule").
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sjtu-epcc/arena/internal/hw"
+)
+
+// Cluster is the mutable allocation state over a static ClusterSpec.
+type Cluster struct {
+	spec    hw.ClusterSpec
+	regions map[string]*regionState
+	allocs  map[string][]allocation // jobID -> held blocks
+}
+
+type regionState struct {
+	gpuType     string
+	gpusPerNode int
+	freePerNode []int // free GPUs per node
+	totalFree   int
+	totalGPUs   int
+}
+
+type allocation struct {
+	gpuType string
+	node    int
+	gpus    int
+}
+
+// New builds an empty (fully free) cluster from a validated spec.
+func New(spec hw.ClusterSpec) (*Cluster, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		spec:    spec,
+		regions: map[string]*regionState{},
+		allocs:  map[string][]allocation{},
+	}
+	for _, r := range spec.Regions {
+		g := hw.MustLookup(r.GPUType)
+		rs := &regionState{
+			gpuType:     r.GPUType,
+			gpusPerNode: g.GPUsPerNode,
+			freePerNode: make([]int, r.Nodes),
+		}
+		for i := range rs.freePerNode {
+			rs.freePerNode[i] = g.GPUsPerNode
+		}
+		rs.totalFree = r.Nodes * g.GPUsPerNode
+		rs.totalGPUs = rs.totalFree
+		c.regions[r.GPUType] = rs
+	}
+	return c, nil
+}
+
+// Spec returns the underlying static specification.
+func (c *Cluster) Spec() hw.ClusterSpec { return c.spec }
+
+// GPUTypes returns the cluster's types, fastest first.
+func (c *Cluster) GPUTypes() []string { return c.spec.GPUTypes() }
+
+// TotalGPUs returns the cluster-wide GPU count.
+func (c *Cluster) TotalGPUs() int { return c.spec.TotalGPUs() }
+
+// FreeGPUs returns the free GPU count in one typed region (0 for unknown
+// types).
+func (c *Cluster) FreeGPUs(gpuType string) int {
+	rs, ok := c.regions[gpuType]
+	if !ok {
+		return 0
+	}
+	return rs.totalFree
+}
+
+// TotalFree returns the cluster-wide free GPU count.
+func (c *Cluster) TotalFree() int {
+	total := 0
+	for _, rs := range c.regions {
+		total += rs.totalFree
+	}
+	return total
+}
+
+// Utilization returns the fraction of GPUs currently allocated.
+func (c *Cluster) Utilization() float64 {
+	total := c.TotalGPUs()
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(c.TotalFree())/float64(total)
+}
+
+// Holding returns the job's current allocation as (type, GPU count);
+// n = 0 when the job holds nothing.
+func (c *Cluster) Holding(jobID string) (string, int) {
+	blocks := c.allocs[jobID]
+	if len(blocks) == 0 {
+		return "", 0
+	}
+	n := 0
+	for _, b := range blocks {
+		n += b.gpus
+	}
+	return blocks[0].gpuType, n
+}
+
+// CanAlloc reports whether n GPUs of the type are allocatable right now
+// under the locality rule (without mutating state).
+func (c *Cluster) CanAlloc(gpuType string, n int) bool {
+	rs, ok := c.regions[gpuType]
+	if !ok || n < 1 || rs.totalFree < n {
+		return false
+	}
+	if n <= rs.gpusPerNode {
+		// Best-fit within one node.
+		for _, free := range rs.freePerNode {
+			if free >= n {
+				return true
+			}
+		}
+		return false
+	}
+	// Multi-node: require fully free nodes (rack-affine buddy blocks).
+	if n%rs.gpusPerNode != 0 {
+		// Round up to whole nodes: the tail shares a node with nothing else.
+	}
+	needed := (n + rs.gpusPerNode - 1) / rs.gpusPerNode
+	freeNodes := 0
+	for _, free := range rs.freePerNode {
+		if free == rs.gpusPerNode {
+			freeNodes++
+		}
+	}
+	return freeNodes >= needed
+}
+
+// Alloc reserves n GPUs of the type for a job. The job must not already
+// hold resources (scale operations free first, then re-allocate — the
+// checkpoint-resume path of §4).
+func (c *Cluster) Alloc(jobID, gpuType string, n int) error {
+	if len(c.allocs[jobID]) != 0 {
+		return fmt.Errorf("cluster: job %s already holds resources", jobID)
+	}
+	rs, ok := c.regions[gpuType]
+	if !ok {
+		return fmt.Errorf("cluster: no region for %s", gpuType)
+	}
+	if n < 1 {
+		return fmt.Errorf("cluster: alloc of %d GPUs", n)
+	}
+	if !c.CanAlloc(gpuType, n) {
+		return fmt.Errorf("cluster: cannot allocate %d×%s", n, gpuType)
+	}
+	var blocks []allocation
+	if n <= rs.gpusPerNode {
+		// Best fit: the fullest node that still fits, preserving big blocks.
+		best, bestFree := -1, rs.gpusPerNode+1
+		for i, free := range rs.freePerNode {
+			if free >= n && free < bestFree {
+				best, bestFree = i, free
+			}
+		}
+		rs.freePerNode[best] -= n
+		rs.totalFree -= n
+		blocks = append(blocks, allocation{gpuType: gpuType, node: best, gpus: n})
+	} else {
+		needed := (n + rs.gpusPerNode - 1) / rs.gpusPerNode
+		remaining := n
+		for i := 0; i < len(rs.freePerNode) && needed > 0; i++ {
+			if rs.freePerNode[i] != rs.gpusPerNode {
+				continue
+			}
+			take := rs.gpusPerNode
+			if remaining < take {
+				take = remaining
+			}
+			rs.freePerNode[i] -= take
+			rs.totalFree -= take
+			blocks = append(blocks, allocation{gpuType: gpuType, node: i, gpus: take})
+			remaining -= take
+			needed--
+		}
+		if remaining != 0 {
+			// CanAlloc guaranteed feasibility; this is a programming error.
+			panic("cluster: allocation accounting mismatch")
+		}
+	}
+	c.allocs[jobID] = blocks
+	return nil
+}
+
+// Free releases everything a job holds. Freeing an unknown job is a no-op.
+func (c *Cluster) Free(jobID string) {
+	for _, b := range c.allocs[jobID] {
+		rs := c.regions[b.gpuType]
+		rs.freePerNode[b.node] += b.gpus
+		rs.totalFree += b.gpus
+	}
+	delete(c.allocs, jobID)
+}
+
+// LargestAllocatable returns the biggest power-of-two GPU count currently
+// allocatable in the typed region under the locality rule.
+func (c *Cluster) LargestAllocatable(gpuType string) int {
+	best := 0
+	for n := 1; n <= c.regionTotal(gpuType); n *= 2 {
+		if c.CanAlloc(gpuType, n) {
+			best = n
+		}
+	}
+	return best
+}
+
+func (c *Cluster) regionTotal(gpuType string) int {
+	rs, ok := c.regions[gpuType]
+	if !ok {
+		return 0
+	}
+	return rs.totalGPUs
+}
+
+// Fragmentation returns the fraction of a region's free GPUs that sit on
+// partially occupied nodes — free capacity that cannot serve multi-node
+// jobs without migration (§3.5's defragmentation motivation).
+func (c *Cluster) Fragmentation(gpuType string) float64 {
+	rs, ok := c.regions[gpuType]
+	if !ok || rs.totalFree == 0 {
+		return 0
+	}
+	fragmented := 0
+	for _, free := range rs.freePerNode {
+		if free > 0 && free < rs.gpusPerNode {
+			fragmented += free
+		}
+	}
+	return float64(fragmented) / float64(rs.totalFree)
+}
+
+// Snapshot returns a human-readable free-capacity summary, deterministic
+// across runs.
+func (c *Cluster) Snapshot() string {
+	types := c.GPUTypes()
+	sort.Strings(types)
+	out := ""
+	for _, t := range types {
+		out += fmt.Sprintf("%s:%d/%d ", t, c.FreeGPUs(t), c.regionTotal(t))
+	}
+	return out
+}

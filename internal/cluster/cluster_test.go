@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sjtu-epcc/arena/internal/hw"
+)
+
+func newCluster(t *testing.T, spec hw.ClusterSpec) *Cluster {
+	t.Helper()
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterFullyFree(t *testing.T) {
+	c := newCluster(t, hw.ClusterA())
+	if c.TotalFree() != 64 || c.Utilization() != 0 {
+		t.Fatalf("fresh cluster: free=%d util=%v", c.TotalFree(), c.Utilization())
+	}
+	if c.FreeGPUs("A40") != 32 || c.FreeGPUs("A10") != 32 {
+		t.Fatal("per-region free counts wrong")
+	}
+	if c.FreeGPUs("H100") != 0 {
+		t.Fatal("unknown region should report 0")
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	c := newCluster(t, hw.ClusterA())
+	if err := c.Alloc("j1", "A40", 4); err != nil {
+		t.Fatal(err)
+	}
+	typ, n := c.Holding("j1")
+	if typ != "A40" || n != 4 {
+		t.Fatalf("holding %s/%d", typ, n)
+	}
+	if c.FreeGPUs("A40") != 28 {
+		t.Fatalf("free = %d", c.FreeGPUs("A40"))
+	}
+	c.Free("j1")
+	if c.FreeGPUs("A40") != 32 {
+		t.Fatal("free did not restore capacity")
+	}
+	if _, n := c.Holding("j1"); n != 0 {
+		t.Fatal("job still holds after free")
+	}
+}
+
+func TestDoubleAllocRejected(t *testing.T) {
+	c := newCluster(t, hw.ClusterA())
+	if err := c.Alloc("j1", "A40", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Alloc("j1", "A40", 2); err == nil {
+		t.Fatal("double alloc should fail")
+	}
+}
+
+func TestAllocValidation(t *testing.T) {
+	c := newCluster(t, hw.ClusterA())
+	if err := c.Alloc("j", "H100", 2); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if err := c.Alloc("j", "A40", 0); err == nil {
+		t.Error("zero GPUs should fail")
+	}
+	if err := c.Alloc("j", "A40", 33); err == nil {
+		t.Error("over-capacity should fail")
+	}
+}
+
+func TestMultiNodeNeedsFreeNodes(t *testing.T) {
+	// A40 nodes hold 2 GPUs. Fill the region with singles (best-fit packs
+	// two per node), then free one of each pair: every node ends with
+	// exactly 1 free GPU — 16 free total, but no multi-node block.
+	c := newCluster(t, hw.ClusterA())
+	for i := 0; i < 32; i++ {
+		if err := c.Alloc(jobID(i), "A40", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i += 2 {
+		c.Free(jobID(i))
+	}
+	if c.FreeGPUs("A40") != 16 {
+		t.Fatalf("free = %d", c.FreeGPUs("A40"))
+	}
+	if c.CanAlloc("A40", 4) {
+		t.Fatal("no fully free nodes: 4-GPU block must be unallocatable")
+	}
+	if !c.CanAlloc("A40", 1) {
+		t.Fatal("single GPUs should still fit")
+	}
+	if got := c.Fragmentation("A40"); got != 1.0 {
+		t.Fatalf("fragmentation = %v, want 1.0", got)
+	}
+}
+
+func TestBestFitPreservesBigBlocks(t *testing.T) {
+	// Allocating 1 GPU twice should pack both on the same node (best fit),
+	// keeping other nodes fully free for multi-node jobs.
+	c := newCluster(t, hw.ClusterA())
+	if err := c.Alloc("a", "A40", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Alloc("b", "A40", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Fragmentation("A40"); got != 0 {
+		t.Fatalf("best fit should leave no fragmentation, got %v", got)
+	}
+}
+
+func TestLargestAllocatable(t *testing.T) {
+	c := newCluster(t, hw.ClusterA())
+	if got := c.LargestAllocatable("A40"); got != 32 {
+		t.Fatalf("fresh region largest = %d", got)
+	}
+	// Consume 17 nodes' worth... Cluster-A A40 region: 16 nodes × 2.
+	if err := c.Alloc("big", "A40", 16); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LargestAllocatable("A40"); got != 16 {
+		t.Fatalf("largest after half taken = %d", got)
+	}
+}
+
+func TestHeterogeneousRegionsIndependent(t *testing.T) {
+	c := newCluster(t, hw.ClusterSim())
+	if err := c.Alloc("j1", "A100", 16); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeGPUs("A100") != 320-16 {
+		t.Fatal("A100 region accounting wrong")
+	}
+	if c.FreeGPUs("A40") != 320 {
+		t.Fatal("A40 region should be untouched")
+	}
+}
+
+func TestV100SixteenGPUNodes(t *testing.T) {
+	// V100 nodes hold 16 GPUs (Table 1): a 16-GPU job fits on one node.
+	c := newCluster(t, hw.ClusterSim())
+	if err := c.Alloc("j", "V100", 16); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fragmentation("V100") != 0 {
+		t.Fatal("whole-node alloc should not fragment")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := newCluster(t, hw.ClusterA())
+	if err := c.Alloc("j", "A40", 32); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Utilization(); got != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestFreeUnknownJobNoop(t *testing.T) {
+	c := newCluster(t, hw.ClusterA())
+	c.Free("ghost")
+	if c.TotalFree() != 64 {
+		t.Fatal("freeing unknown job changed state")
+	}
+}
+
+func TestAllocFreeProperty(t *testing.T) {
+	// Property: any sequence of alloc/free pairs conserves capacity.
+	spec := hw.ClusterA()
+	f := func(sizes []uint8) bool {
+		c, err := New(spec)
+		if err != nil {
+			return false
+		}
+		ids := make([]string, 0, len(sizes))
+		for i, raw := range sizes {
+			n := 1 << (raw % 5) // 1..16
+			id := jobID(i)
+			if c.CanAlloc("A40", n) {
+				if err := c.Alloc(id, "A40", n); err != nil {
+					return false
+				}
+				ids = append(ids, id)
+			}
+		}
+		for _, id := range ids {
+			c.Free(id)
+		}
+		return c.TotalFree() == 64 && c.Fragmentation("A40") == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func jobID(i int) string {
+	return "job-" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+}

@@ -1,0 +1,205 @@
+// Package core implements the paper's central abstraction: the grid
+// sharding of the joint scheduling-parallelism optimization space (§3.2).
+//
+// The joint space J = S × P couples every scheduling plan (job J_i, GPU
+// count n, GPU type m) with every adaptive-parallelism plan (stage
+// partition, GPU assignment, intra-stage parallelism). Arena's key
+// observation is that for a model on fixed resources with a *fixed
+// pipeline degree*, plans can be compared analytically — balanced
+// inter-stage loads consistently win — while comparisons across pipeline
+// degrees, resources or models need measured latencies. The grid is
+// therefore "the optimization subspace with determined resource and
+// pipeline degree": estimation happens within a grid (J_in), profiling
+// across grids (J_out).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/sjtu-epcc/arena/internal/model"
+)
+
+// MaxPipelineDegree bounds the pipeline degrees Arena enumerates per
+// resource. The paper's workloads use up to 8 stages (Fig. 14).
+const MaxPipelineDegree = 8
+
+// Grid identifies one subspace of the joint optimization space for a job:
+// all scheduling-parallelism plans with this resource allocation and this
+// pipeline degree (Fig. 7).
+type Grid struct {
+	Workload model.Workload // job's model + global batch size
+	GPUType  string         // resource type m
+	N        int            // allocated GPU count n
+	S        int            // pipeline degree (number of stages)
+}
+
+// String implements fmt.Stringer; the form doubles as a stable map key.
+func (g Grid) String() string {
+	return fmt.Sprintf("%s/%dx%s/s%d", g.Workload, g.N, g.GPUType, g.S)
+}
+
+// Resource is a grid's scheduling-space coordinate (n GPUs of type m)
+// without the pipeline dimension — the unit the scheduler allocates.
+type Resource struct {
+	GPUType string
+	N       int
+}
+
+// String implements fmt.Stringer.
+func (r Resource) String() string { return fmt.Sprintf("%dx%s", r.N, r.GPUType) }
+
+// PipelineDegrees returns the pipeline degrees enumerated for an n-GPU
+// allocation over a graph with numOps clustered operators: every s with
+// 1 ≤ s ≤ min(n, numOps, MaxPipelineDegree). Powers of two are not
+// required — GPU assignments within a grid are power-of-two per stage,
+// but the stage count itself is free (§3.2).
+func PipelineDegrees(n, numOps int) []int {
+	limit := n
+	if numOps < limit {
+		limit = numOps
+	}
+	if MaxPipelineDegree < limit {
+		limit = MaxPipelineDegree
+	}
+	out := make([]int, 0, limit)
+	for s := 1; s <= limit; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// GPUCounts returns the power-of-two allocation sizes enumerated per GPU
+// type: 1, 2, 4, ..., maxN (§3.3: per-stage GPU counts are limited to
+// powers of two, following Sia).
+func GPUCounts(maxN int) []int {
+	var out []int
+	for n := 1; n <= maxN; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Enumerate lists every grid for a workload across the given GPU types
+// and a per-type maximum allocation, in deterministic order.
+func Enumerate(w model.Workload, numOps int, gpuTypes []string, maxN int) []Grid {
+	var grids []Grid
+	for _, m := range gpuTypes {
+		for _, n := range GPUCounts(maxN) {
+			for _, s := range PipelineDegrees(n, numOps) {
+				grids = append(grids, Grid{Workload: w, GPUType: m, N: n, S: s})
+			}
+		}
+	}
+	return grids
+}
+
+// SpaceSize reports analytic sizes of the optimization (sub)spaces for a
+// job, used to document the complexity reduction of grid sharding
+// (§3.2: profiling complexity drops from O(K·N·M·Σ C(O,s)·C(N,s)·2^s)
+// to O(K·N²·M)).
+type SpaceSize struct {
+	JointPlans     float64 // |J| = |S × P|, scheduling × parallelism plans
+	GridCount      int     // number of grids (profiled points, J_out)
+	PerGridEstOnly float64 // average plans per grid (estimated, J_in)
+}
+
+// MeasureSpace computes SpaceSize for one workload given O clustered
+// operators, M GPU types and per-type maximum N.
+func MeasureSpace(numOps, numTypes, maxN int) SpaceSize {
+	var joint float64
+	gridCount := 0
+	for _, n := range GPUCounts(maxN) {
+		for _, s := range PipelineDegrees(n, numOps) {
+			gridCount += numTypes
+			// Plans within the grid: stage partitions × GPU assignments ×
+			// intra-stage parallelism choices.
+			partitions := binom(numOps-1, s-1)
+			assignments := pow2Compositions(n, s)
+			intra := math.Pow(float64(intraChoices(n)), float64(s))
+			joint += float64(numTypes) * partitions * assignments * intra
+		}
+	}
+	return SpaceSize{
+		JointPlans:     joint,
+		GridCount:      gridCount,
+		PerGridEstOnly: joint / float64(gridCount),
+	}
+}
+
+// binom returns C(n, k) as float64 (sizes only; exactness not required
+// beyond float precision).
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// pow2Compositions counts ordered s-tuples of powers of two summing to n.
+func pow2Compositions(n, s int) float64 {
+	memo := map[[2]int]float64{}
+	var rec func(rem, parts int) float64
+	rec = func(rem, parts int) float64 {
+		if parts == 0 {
+			if rem == 0 {
+				return 1
+			}
+			return 0
+		}
+		if rem < parts { // each part ≥ 1
+			return 0
+		}
+		key := [2]int{rem, parts}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		var total float64
+		for p := 1; p <= rem; p *= 2 {
+			total += rec(rem-p, parts-1)
+		}
+		memo[key] = total
+		return total
+	}
+	return rec(n, s)
+}
+
+// intraChoices counts (dp, tp) factorizations with power-of-two factors
+// for a stage of up to n GPUs (averaged upper bound: log2(n)+1).
+func intraChoices(n int) int {
+	c := 0
+	for p := 1; p <= n; p *= 2 {
+		c++
+	}
+	return c
+}
+
+// BestPerResource groups arbitrary per-grid scores (higher is better) by
+// resource and returns, per resource, the grid with the best score —
+// the traversal the scheduler performs when querying AP performance
+// ("Arena traverses relevant grids for the best-performing one", §3.5).
+func BestPerResource(scores map[Grid]float64) map[Resource]Grid {
+	best := make(map[Resource]Grid)
+	// Deterministic iteration: sort grid keys.
+	grids := make([]Grid, 0, len(scores))
+	for g := range scores {
+		grids = append(grids, g)
+	}
+	sort.Slice(grids, func(i, j int) bool { return grids[i].String() < grids[j].String() })
+	for _, g := range grids {
+		r := Resource{GPUType: g.GPUType, N: g.N}
+		cur, ok := best[r]
+		if !ok || scores[g] > scores[cur] {
+			best[r] = g
+		}
+	}
+	return best
+}

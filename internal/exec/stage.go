@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"math"
+
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/parallel"
+)
+
+// StageMeasure is the engine's measurement of one pipeline stage under a
+// given intra-stage parallelization, per microbatch unless noted. It is
+// the unit both the full AP search (which "profiles" stage candidates, as
+// Alpa does) and end-to-end plan evaluation consume.
+type StageMeasure struct {
+	FwdCompute float64 // forward compute kernels
+	BwdCompute float64 // backward compute kernels (≈ BwdFactor × forward)
+	TPComm     float64 // tensor-parallel collectives, forward direction
+	Straggler  float64 // multiplicative sync penalty applied to compute
+	GradSync   float64 // per-iteration data-parallel gradient all-reduce
+	ParamBytes float64 // stage parameter bytes (before TP sharding)
+}
+
+// Time returns the stage's per-microbatch latency: straggler-inflated
+// compute plus the tensor-parallel collectives of both directions.
+func (m StageMeasure) Time() float64 {
+	return (m.FwdCompute+m.BwdCompute)*m.Straggler + 2*m.TPComm
+}
+
+// MeasureStage measures one stage candidate: the operator range and
+// (dp, tp) shape of st, with microSamples samples per microbatch split
+// across dp replicas. This is the quantity a real system obtains by
+// compiling and profiling the stage executable on hardware — the unit of
+// AP search cost.
+func (e *Engine) MeasureStage(g *model.Graph, st parallel.StagePlan, spec hw.GPU, microSamples float64, gpusPerNode int) StageMeasure {
+	if gpusPerNode < 1 {
+		gpusPerNode = spec.GPUsPerNode
+	}
+	spr := microSamples / float64(st.DP) // samples per replica per microbatch
+
+	var m StageMeasure
+	for _, op := range g.Ops[st.OpStart:st.OpEnd] {
+		m.FwdCompute += e.KernelTime(op, spec, spr, st.TP)
+		m.ParamBytes += op.ParamBytes
+		if st.TP > 1 && op.TPCommBytes > 0 {
+			topo := hw.Topology{
+				GPUType: spec.Name, Workers: st.TP,
+				CrossNode: st.TP > gpusPerNode, NICShare: gpusPerNode,
+			}
+			prim := hw.Primitive(op.TPPrimitive)
+			if prim == "" {
+				prim = hw.AllReduce
+			}
+			m.TPComm += e.CollectiveTime(prim, topo, op.TPCommBytes*spr)
+		}
+	}
+	m.BwdCompute = m.FwdCompute * e.BwdFactor
+
+	// Replica-synchronization straggler: the slowest of dp×tp workers
+	// gates every microbatch boundary.
+	m.Straggler = 1.0
+	if group := st.GPUs(); group > 1 {
+		m.Straggler = 1 + e.StragglerCoef*math.Log2(float64(group))
+	}
+
+	// Data-parallel gradient all-reduce (once per iteration).
+	if st.DP > 1 {
+		share := gpusPerNode / st.TP
+		if share < 1 {
+			share = 1
+		}
+		topo := hw.Topology{
+			GPUType: spec.Name, Workers: st.DP,
+			CrossNode: st.GPUs() > gpusPerNode, NICShare: share,
+		}
+		m.GradSync = e.CollectiveTime(hw.AllReduce, topo, m.ParamBytes/float64(st.TP))
+	}
+	return m
+}
+
+// StageFitsMemory reports whether the stage candidate fits device memory
+// under the pessimistic assumption that it is the pipeline's first stage
+// (which retains the most in-flight microbatches under 1F1B).
+func StageFitsMemory(g *model.Graph, st parallel.StagePlan, spec hw.GPU, globalBatch, numMicro, numStages int) bool {
+	mem := parallel.StageMemoryBytes(g, st, globalBatch, numMicro, 0, numStages)
+	return mem <= spec.MemBytes*parallel.MemoryReserveFraction
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/planner"
+)
+
+// DesignAblation evaluates the planner's own design choices (DESIGN.md §4):
+// the proxy selection rule (minimum computation bias first, as in §3.3,
+// vs. minimum communication load first) and the Pareto-frontier reduction
+// threshold, measured by the proxy's fraction of the grid optimum.
+func (e *Env) DesignAblation() (*Table, error) {
+	t := &Table{
+		ID:     "design",
+		Title:  "Planner design-choice ablation: proxy rule and frontier threshold",
+		Header: []string{"knob", "setting", "mean proxy/optimal", "mean frontier size"},
+	}
+	cases := []struct {
+		modelName string
+		gb, n, s  int
+	}{
+		{"WRes-1B", 256, 4, 2},
+		{"WRes-2B", 512, 8, 4},
+		{"GPT-1.3B", 128, 8, 4},
+		{"MoE-1.3B", 256, 8, 4},
+	}
+	spec := hw.MustLookup("A40")
+
+	// evaluate returns the mean proxy quality and frontier size over the
+	// cases for a configured planner and proxy-selection override.
+	evaluate := func(pl *planner.Planner, commFirst bool) (float64, float64, error) {
+		var fracSum, frontierSum float64
+		for _, c := range cases {
+			g, err := model.BuildClustered(c.modelName)
+			if err != nil {
+				return 0, 0, err
+			}
+			grid := core.Grid{
+				Workload: model.Workload{Model: c.modelName, GlobalBatch: c.gb},
+				GPUType:  "A40", N: c.n, S: c.s,
+			}
+			gp, err := pl.PlanGrid(g, grid)
+			if err != nil || !gp.Feasible {
+				return 0, 0, fmt.Errorf("design: %s infeasible: %v", c.modelName, err)
+			}
+			proxy := gp.Proxy
+			if commFirst {
+				// Alternative rule: minimum communication load outright.
+				for _, cand := range gp.Frontier {
+					if proxy == nil || cand.LComm < proxy.LComm {
+						proxy = cand
+					}
+				}
+			}
+			proxyRes, err := e.eng.Evaluate(g, proxy.Plan, spec, c.gb)
+			if err != nil || !proxyRes.Fits {
+				return 0, 0, fmt.Errorf("design: proxy eval failed for %s", c.modelName)
+			}
+			best := 0.0
+			for _, cand := range pl.EnumerateCandidates(g, grid) {
+				res, err := e.eng.Evaluate(g, cand.Plan, spec, c.gb)
+				if err == nil && res.Fits && res.Throughput > best {
+					best = res.Throughput
+				}
+			}
+			if best <= 0 {
+				return 0, 0, fmt.Errorf("design: empty grid for %s", c.modelName)
+			}
+			fracSum += proxyRes.Throughput / best
+			frontierSum += float64(len(gp.Frontier))
+		}
+		n := float64(len(cases))
+		return fracSum / n, frontierSum / n, nil
+	}
+
+	// Proxy rule: bias-first (the paper's rule) vs comm-first.
+	for _, rule := range []struct {
+		label     string
+		commFirst bool
+	}{{"bias-first (paper)", false}, {"comm-first", true}} {
+		frac, fsize, err := evaluate(planner.New(), rule.commFirst)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("proxy-rule", rule.label,
+			fmt.Sprintf("%.1f%%", 100*frac), fmt.Sprintf("%.1f", fsize))
+	}
+
+	// Frontier reduction threshold sweep.
+	for _, max := range []int{2, 4, 8, 16} {
+		pl := planner.New()
+		pl.MaxFrontier = max
+		frac, fsize, err := evaluate(pl, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("max-frontier", fmt.Sprintf("%d", max),
+			fmt.Sprintf("%.1f%%", 100*frac), fmt.Sprintf("%.1f", fsize))
+	}
+
+	// Bias tolerance sweep (how much l_comm is allowed to break ties).
+	for _, tol := range []float64{0, 0.05, 0.15, 0.5} {
+		pl := planner.New()
+		pl.BiasTolerance = tol
+		frac, _, err := evaluate(pl, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("bias-tolerance", fmt.Sprintf("%.2f", tol),
+			fmt.Sprintf("%.1f%%", 100*frac), "-")
+	}
+	t.Note("the paper's bias-first rule should dominate comm-first (computation dominates end-to-end performance, §3.3)")
+	return t, nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		ID:     "test",
+		Title:  "a title",
+		Header: []string{"col1", "longer-column"},
+	}
+	tbl.AddRow("a", "b")
+	tbl.AddRow("longer-cell", "c")
+	tbl.Note("note %d", 7)
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== test: a title ==", "col1", "longer-cell", "# note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	env := NewEnv(42)
+	reg := env.Registry()
+	if len(reg) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, ex := range reg {
+		if ex.ID == "" || ex.Brief == "" || ex.Run == nil {
+			t.Errorf("incomplete experiment %+v", ex)
+		}
+		if seen[ex.ID] {
+			t.Errorf("duplicate experiment %s", ex.ID)
+		}
+		seen[ex.ID] = true
+	}
+	// Every paper figure of §5 must be present.
+	for _, id := range []string{"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, err := env.Lookup("fig15"); err != nil {
+		t.Error(err)
+	}
+	if _, err := env.Lookup("nope"); err == nil {
+		t.Error("unknown lookup should error")
+	}
+}
+
+func TestFig6RunsAndShowsBalanceEffect(t *testing.T) {
+	env := NewEnv(42)
+	tbl, err := env.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFig14ProxyNearOptimal(t *testing.T) {
+	env := NewEnv(42)
+	tbl, err := env.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each case's proxy/best column should be ≥ 80%.
+	for _, row := range tbl.Rows {
+		frac := row[4]
+		if frac == "-" {
+			t.Errorf("infeasible case %v", row)
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(frac, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad fraction %q", frac)
+		}
+		if v < 80 {
+			t.Errorf("proxy quality %s below 80%% in %v", frac, row)
+		}
+	}
+}
+
+func TestFig15QualityAndCostCut(t *testing.T) {
+	env := NewEnv(42)
+	tbl, err := env.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 10 {
+		t.Fatalf("too few rows: %d", len(tbl.Rows))
+	}
+}
+
+func TestFig2OptimalPlansShift(t *testing.T) {
+	env := NewEnv(42)
+	tbl, err := env.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Panel (a) must contain at least two distinct optimal plans across
+	// GPU counts (the dynamicity claim).
+	plans := map[string]bool{}
+	for _, row := range tbl.Rows {
+		if row[0] == "a" {
+			plans[row[4]] = true
+		}
+	}
+	if len(plans) < 2 {
+		t.Errorf("no plan dynamicity in panel (a): %v", plans)
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import "fmt"
+
+// Experiment pairs an identifier with its generator.
+type Experiment struct {
+	ID    string
+	Brief string
+	Run   func() (*Table, error)
+}
+
+// Registry lists every reproducible experiment in paper order.
+func (e *Env) Registry() []Experiment {
+	return []Experiment{
+		{"fig2", "AP dynamicity across amount/type/interconnect (§2.2)", e.Fig2},
+		{"fig3", "DP-view vs AP-view scheduling inversion (§2.2)", e.Fig3},
+		{"fig6", "stage-partition balance at fixed pipeline degree (§3.2)", e.Fig6},
+		{"eta", "Sia linear-estimation error and η knob (§2.3)", e.EtaKnob},
+		{"fig10", "testbed comparison on Cluster-A/B (§5.2)", e.Fig10},
+		{"fidelity", "simulation fidelity (§5.2)", e.Fidelity},
+		{"fig11", "week-long throughput time series (§5.3)", e.Fig11},
+		{"fig12", "large-scale numerical comparison (§5.3)", e.Fig12},
+		{"fig13", "Helios and PAI traces (§5.3)", e.Fig13},
+		{"fig14", "Pareto frontier and proxy optimality (§5.4)", e.Fig14},
+		{"fig15", "pruned AP search vs Alpa (§5.4)", e.Fig15},
+		{"fig16", "disaggregated profiling accuracy and cost (§5.5)", e.Fig16},
+		{"ddl", "deadline-aware scheduling (§5.6)", e.Deadline},
+		{"fig17", "component ablation (§5.7)", e.Fig17},
+		{"fig18", "GPU-time breakdown of GPT-2.6B (§5.7)", e.Fig18},
+		{"fig19", "Arena-Sched over lifespan scaling (§5.7)", e.Fig19},
+		{"sens", "P and D sensitivity (§5.8)", e.Sensitivity},
+		{"overheads", "system overhead analysis (§5.8)", e.Overheads},
+		{"design", "planner design-choice ablation (DESIGN.md §4)", e.DesignAblation},
+	}
+}
+
+// Lookup returns the experiment with the given ID.
+func (e *Env) Lookup(id string) (Experiment, error) {
+	for _, ex := range e.Registry() {
+		if ex.ID == id {
+			return ex, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

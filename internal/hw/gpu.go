@@ -1,0 +1,165 @@
+// Package hw models the hardware substrate of the Arena reproduction: GPU
+// specifications, the roofline performance model, interconnect topologies,
+// and analytic cost models for communication collectives.
+//
+// The paper (Table 1) evaluates on six NVIDIA GPU types spanning four
+// architectures with NVLink or PCIe intra-node fabrics and ConnectX-5/6
+// InfiniBand across nodes. Arena's planner consumes only hardware
+// *specifications* (SM count, peak throughput, memory bandwidth — the
+// roofline inputs, §3.3), so a specification catalog is a faithful
+// substitute for physical devices. All quantities use SI base units:
+// FLOP/s, bytes, bytes/s, seconds.
+package hw
+
+import "fmt"
+
+// Arch identifies a GPU micro-architecture generation. Kernel efficiency
+// curves and launch overheads are architecture-dependent (newer parts hide
+// latency better and need larger tiles to saturate).
+type Arch string
+
+// Architectures present in the paper's testbeds (Table 1).
+const (
+	Volta  Arch = "Volta"
+	Ampere Arch = "Ampere"
+	Ada    Arch = "Ada"
+	Hopper Arch = "Hopper"
+)
+
+// GPU describes one accelerator type. PeakFLOPS is the dense FP16/BF16
+// tensor-core throughput (the precision used for large-model training);
+// MemBandwidth is HBM/GDDR bandwidth. IntraLink describes the intra-node
+// fabric reachable from this GPU, InterLink the NIC used across nodes.
+type GPU struct {
+	Name           string
+	Architecture   Arch
+	SMCount        int
+	PeakFLOPS      float64 // FLOP/s, dense FP16 tensor
+	MemBandwidth   float64 // bytes/s
+	MemBytes       float64 // device memory capacity, bytes
+	IntraLink      Link    // NVLink or PCIe within a node
+	InterLink      Link    // InfiniBand NIC across nodes
+	GPUsPerNode    int     // Table 1 "#GPU/Node"
+	LaunchOverhead float64 // per-kernel launch + dispatch latency, seconds
+	// EffHalfWork is the per-kernel work size (FLOPs) at which the GPU
+	// reaches half of its shape efficiency ceiling; larger values mean the
+	// part needs bigger tiles to saturate (models diminishing returns when
+	// parallelism slices operators thin, §2.2).
+	EffHalfWork float64
+}
+
+// String implements fmt.Stringer.
+func (g GPU) String() string { return g.Name }
+
+// GiB is a convenience constant for capacity math.
+const GiB = 1024 * 1024 * 1024
+
+// Catalog returns the GPU specification table used across the paper
+// (Table 1 augmented with public architecture specs). The returned map is
+// freshly allocated; callers may mutate their copy.
+func Catalog() map[string]GPU {
+	m := make(map[string]GPU, len(catalog))
+	for k, v := range catalog {
+		m[k] = v
+	}
+	return m
+}
+
+// Lookup returns the spec for a named GPU type.
+func Lookup(name string) (GPU, error) {
+	g, ok := catalog[name]
+	if !ok {
+		return GPU{}, fmt.Errorf("hw: unknown GPU type %q", name)
+	}
+	return g, nil
+}
+
+// MustLookup is Lookup for static configuration; it panics on unknown names.
+func MustLookup(name string) GPU {
+	g, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TypeNames returns the catalog's GPU names in a fixed canonical order
+// (fastest to slowest), convenient for deterministic iteration.
+func TypeNames() []string {
+	return []string{"H100", "A100", "L20", "A40", "A10", "V100"}
+}
+
+var catalog = map[string]GPU{
+	// Hopper flagship: 80 GB HBM3, NVLink4 900 GB/s, ConnectX-6 NIC.
+	"H100": {
+		Name: "H100", Architecture: Hopper, SMCount: 132,
+		PeakFLOPS:      989e12,
+		MemBandwidth:   3.35e12,
+		MemBytes:       80 * GiB,
+		IntraLink:      NVLink4,
+		InterLink:      ConnectX6,
+		GPUsPerNode:    8,
+		LaunchOverhead: 4e-6,
+		EffHalfWork:    6e9,
+	},
+	// Ada data-center inference/training part: 48 GB GDDR6, PCIe 4.0.
+	"L20": {
+		Name: "L20", Architecture: Ada, SMCount: 92,
+		PeakFLOPS:      119.5e12,
+		MemBandwidth:   864e9,
+		MemBytes:       48 * GiB,
+		IntraLink:      PCIe4,
+		InterLink:      ConnectX6,
+		GPUsPerNode:    16,
+		LaunchOverhead: 5e-6,
+		EffHalfWork:    1.2e9,
+	},
+	// Ampere flagship (40 GB SXM variant, NVLink3 600 GB/s).
+	"A100": {
+		Name: "A100", Architecture: Ampere, SMCount: 108,
+		PeakFLOPS:      312e12,
+		MemBandwidth:   1.555e12,
+		MemBytes:       40 * GiB,
+		IntraLink:      NVLink3,
+		InterLink:      ConnectX5,
+		GPUsPerNode:    4,
+		LaunchOverhead: 5e-6,
+		EffHalfWork:    2.5e9,
+	},
+	// Ampere workstation/server part: 48 GB GDDR6, PCIe 4.0.
+	"A40": {
+		Name: "A40", Architecture: Ampere, SMCount: 84,
+		PeakFLOPS:      149.7e12,
+		MemBandwidth:   696e9,
+		MemBytes:       48 * GiB,
+		IntraLink:      PCIe4,
+		InterLink:      ConnectX5,
+		GPUsPerNode:    2,
+		LaunchOverhead: 6e-6,
+		EffHalfWork:    1.4e9,
+	},
+	// Ampere inference part: 24 GB GDDR6, PCIe 4.0, ConnectX-6 NIC.
+	"A10": {
+		Name: "A10", Architecture: Ampere, SMCount: 72,
+		PeakFLOPS:      125e12,
+		MemBandwidth:   600e9,
+		MemBytes:       24 * GiB,
+		IntraLink:      PCIe4,
+		InterLink:      ConnectX6,
+		GPUsPerNode:    2,
+		LaunchOverhead: 6e-6,
+		EffHalfWork:    1.1e9,
+	},
+	// Volta: 32 GB HBM2, NVLink2 300 GB/s, 16-GPU nodes (Table 1).
+	"V100": {
+		Name: "V100", Architecture: Volta, SMCount: 80,
+		PeakFLOPS:      125e12,
+		MemBandwidth:   900e9,
+		MemBytes:       32 * GiB,
+		IntraLink:      NVLink2,
+		InterLink:      ConnectX5,
+		GPUsPerNode:    16,
+		LaunchOverhead: 8e-6,
+		EffHalfWork:    1.6e9,
+	},
+}

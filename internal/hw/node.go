@@ -1,0 +1,156 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region describes a homogeneous pool of GPUs of one type, matching the
+// production layout the paper describes (§2.1, §3.5): clusters house
+// homogeneous GPUs in the same region with neighboring nodes, and a job is
+// always allocated GPUs of a single type (intra-job homogeneity).
+type Region struct {
+	GPUType string // catalog name
+	Nodes   int    // number of nodes in the region
+}
+
+// GPUs returns the region's total GPU count.
+func (r Region) GPUs() (int, error) {
+	g, err := Lookup(r.GPUType)
+	if err != nil {
+		return 0, err
+	}
+	return r.Nodes * g.GPUsPerNode, nil
+}
+
+// ClusterSpec is the static description of a heterogeneous cluster: a set
+// of typed regions. The three evaluation clusters of §5.1 are provided as
+// constructors below.
+type ClusterSpec struct {
+	Name    string
+	Regions []Region
+}
+
+// Validate checks all regions reference known GPU types and have capacity.
+func (c ClusterSpec) Validate() error {
+	if len(c.Regions) == 0 {
+		return fmt.Errorf("hw: cluster %q has no regions", c.Name)
+	}
+	seen := map[string]bool{}
+	for _, r := range c.Regions {
+		if _, err := Lookup(r.GPUType); err != nil {
+			return fmt.Errorf("hw: cluster %q: %w", c.Name, err)
+		}
+		if r.Nodes <= 0 {
+			return fmt.Errorf("hw: cluster %q: region %s has %d nodes", c.Name, r.GPUType, r.Nodes)
+		}
+		if seen[r.GPUType] {
+			return fmt.Errorf("hw: cluster %q: duplicate region for %s", c.Name, r.GPUType)
+		}
+		seen[r.GPUType] = true
+	}
+	return nil
+}
+
+// TotalGPUs returns the cluster-wide GPU count.
+func (c ClusterSpec) TotalGPUs() int {
+	total := 0
+	for _, r := range c.Regions {
+		n, err := r.GPUs()
+		if err != nil {
+			continue
+		}
+		total += n
+	}
+	return total
+}
+
+// GPUTypes returns the cluster's GPU type names sorted fastest-first
+// (catalog order), restricted to types present in the cluster.
+func (c ClusterSpec) GPUTypes() []string {
+	present := map[string]bool{}
+	for _, r := range c.Regions {
+		present[r.GPUType] = true
+	}
+	var out []string
+	for _, name := range TypeNames() {
+		if present[name] {
+			out = append(out, name)
+		}
+	}
+	// Any type outside the canonical order (custom catalogs) goes last.
+	var extra []string
+	for t := range present {
+		found := false
+		for _, o := range out {
+			if o == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, t)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// Region returns the region for a GPU type, if present.
+func (c ClusterSpec) Region(gpuType string) (Region, bool) {
+	for _, r := range c.Regions {
+		if r.GPUType == gpuType {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// ClusterA is the paper's first physical testbed: 32 nodes, 64 GPUs —
+// 16 nodes with 2×A40 and 16 nodes with 2×A10 (§5.1).
+func ClusterA() ClusterSpec {
+	return ClusterSpec{
+		Name: "Cluster-A",
+		Regions: []Region{
+			{GPUType: "A40", Nodes: 16},
+			{GPUType: "A10", Nodes: 16},
+		},
+	}
+}
+
+// ClusterB is the paper's cutting-edge testbed: 128 H100 (16 nodes × 8)
+// and 256 L20 (16 nodes × 16) (§5.1).
+func ClusterB() ClusterSpec {
+	return ClusterSpec{
+		Name: "Cluster-B",
+		Regions: []Region{
+			{GPUType: "H100", Nodes: 16},
+			{GPUType: "L20", Nodes: 16},
+		},
+	}
+}
+
+// ClusterSim is the paper's 1,280-GPU simulated cluster with 4 GPU types:
+// A100 (80 nodes × 4), A40 (160 × 2), A10 (160 × 2), V100 (20 × 16) (§5.1).
+func ClusterSim() ClusterSpec {
+	return ClusterSpec{
+		Name: "Cluster-Sim",
+		Regions: []Region{
+			{GPUType: "A100", Nodes: 80},
+			{GPUType: "A40", Nodes: 160},
+			{GPUType: "A10", Nodes: 160},
+			{GPUType: "V100", Nodes: 20},
+		},
+	}
+}
+
+// ClusterBHomogeneous is the homogeneous robustness study setup of §5.7:
+// only the 128 H100 GPUs of Cluster-B.
+func ClusterBHomogeneous() ClusterSpec {
+	return ClusterSpec{
+		Name: "Cluster-B-H100",
+		Regions: []Region{
+			{GPUType: "H100", Nodes: 16},
+		},
+	}
+}

@@ -1,0 +1,137 @@
+// Package metrics aggregates the scheduling statistics the paper reports:
+// cluster throughput time series (Fig. 11), JCT distributions and CDFs
+// (Fig. 12), queuing delays (Fig. 10), deadline satisfaction (§5.6), and
+// rescheduling counts (§5.3).
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary is the outcome of one scheduling run.
+type Summary struct {
+	Policy string
+
+	// ThroughputSeries samples cluster throughput (samples/s) per round.
+	ThroughputSeries []float64
+	AvgThr           float64
+	PeakThr          float64
+
+	// Per-finished-job statistics. When unfinished jobs are included
+	// (Fig. 12's note), their JCT is censored at the horizon.
+	JCTs       []float64
+	QueueTimes []float64
+	AvgJCT     float64
+	P50JCT     float64
+	P90JCT     float64
+	AvgQueue   float64
+
+	Finished int
+	Dropped  int
+	Total    int
+
+	AvgReschedules float64
+
+	DeadlineSatisfied int
+	DeadlineTotal     int
+}
+
+// Finalize computes the aggregate fields from the raw series.
+func (s *Summary) Finalize() {
+	s.AvgThr = Mean(s.ThroughputSeries)
+	s.PeakThr = Max(s.ThroughputSeries)
+	s.AvgJCT = Mean(s.JCTs)
+	s.P50JCT = Percentile(s.JCTs, 0.50)
+	s.P90JCT = Percentile(s.JCTs, 0.90)
+	s.AvgQueue = Mean(s.QueueTimes)
+}
+
+// DeadlineRatio returns the deadline satisfaction ratio (§5.6), or 0 when
+// no job carried a deadline.
+func (s *Summary) DeadlineRatio() float64 {
+	if s.DeadlineTotal == 0 {
+		return 0
+	}
+	return float64(s.DeadlineSatisfied) / float64(s.DeadlineTotal)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) with linear
+// interpolation; 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// CDFPoint is one point of an empirical distribution function.
+type CDFPoint struct {
+	X float64 // value
+	F float64 // fraction ≤ X
+}
+
+// CDF returns the empirical CDF sampled at up to `points` positions
+// (Fig. 12(a)'s JCT CDF).
+func CDF(xs []float64, points int) []CDFPoint {
+	if len(xs) == 0 || points < 2 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		idx := (len(sorted) - 1) * i / (points - 1)
+		out = append(out, CDFPoint{
+			X: sorted[idx],
+			F: float64(idx+1) / float64(len(sorted)),
+		})
+	}
+	return out
+}
+
+// RelErr returns |a−b| / b (0 when b is 0) — the simulation-fidelity
+// metric of §5.2.
+func RelErr(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

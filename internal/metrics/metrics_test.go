@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean of 1,2,3")
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(nil) != 0 {
+		t.Error("empty max")
+	}
+	if Max([]float64{3, 9, 1}) != 9 {
+		t.Error("max of 3,9,1")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 1) != 5 {
+		t.Error("extremes")
+	}
+	if Percentile(xs, 0.5) != 3 {
+		t.Errorf("median = %v", Percentile(xs, 0.5))
+	}
+	if got := Percentile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Errorf("interpolated median = %v", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pa := math.Abs(a) / (math.Abs(a) + 1) // squash into [0,1)
+		pb := math.Abs(b) / (math.Abs(b) + 1)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(raw, pa) <= Percentile(raw, pb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cdf := CDF(xs, 4)
+	if len(cdf) != 4 {
+		t.Fatalf("got %d points", len(cdf))
+	}
+	if cdf[0].X != 1 || cdf[len(cdf)-1].X != 4 {
+		t.Errorf("endpoints: %+v", cdf)
+	}
+	if cdf[len(cdf)-1].F != 1 {
+		t.Errorf("final F = %v", cdf[len(cdf)-1].F)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X || cdf[i].F < cdf[i-1].F {
+			t.Error("CDF not monotone")
+		}
+	}
+	if CDF(nil, 4) != nil || CDF(xs, 1) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(11, 10) != 0.1 {
+		t.Errorf("RelErr(11,10) = %v", RelErr(11, 10))
+	}
+	if RelErr(5, 0) != 0 {
+		t.Error("division by zero guard")
+	}
+}
+
+func TestSummaryFinalize(t *testing.T) {
+	s := Summary{
+		ThroughputSeries: []float64{10, 20, 30},
+		JCTs:             []float64{100, 200, 300, 400},
+		QueueTimes:       []float64{5, 15},
+	}
+	s.Finalize()
+	if s.AvgThr != 20 || s.PeakThr != 30 {
+		t.Errorf("thr: %v/%v", s.AvgThr, s.PeakThr)
+	}
+	if s.AvgJCT != 250 || s.AvgQueue != 10 {
+		t.Errorf("jct/queue: %v/%v", s.AvgJCT, s.AvgQueue)
+	}
+	if s.P50JCT != 250 {
+		t.Errorf("p50 = %v", s.P50JCT)
+	}
+}
+
+func TestDeadlineRatio(t *testing.T) {
+	s := Summary{DeadlineSatisfied: 3, DeadlineTotal: 4}
+	if s.DeadlineRatio() != 0.75 {
+		t.Errorf("ratio = %v", s.DeadlineRatio())
+	}
+	if (&Summary{}).DeadlineRatio() != 0 {
+		t.Error("no deadlines should give 0")
+	}
+}

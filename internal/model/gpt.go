@@ -1,0 +1,126 @@
+package model
+
+import "fmt"
+
+// GPTConfig describes a GPT-3-family decoder-only transformer. The paper
+// evaluates GPT-3 at 0.76B, 1.3B, 2.6B and 6.7B parameters with sequence
+// length 1024 (Table 2, §5.1); the layer/hidden pairs below are the
+// standard GPT-3 scaling-ladder configurations.
+type GPTConfig struct {
+	Name      string
+	Layers    int
+	Hidden    int
+	Heads     int
+	SeqLen    int
+	VocabSize int
+	Nominal   float64 // nominal parameter count for reporting
+}
+
+// GPT sizes from the paper (Table 2).
+var gptConfigs = map[string]GPTConfig{
+	"GPT-0.76B": {Name: "GPT-0.76B", Layers: 24, Hidden: 1536, Heads: 16, SeqLen: 1024, VocabSize: 51200, Nominal: 0.76e9},
+	"GPT-1.3B":  {Name: "GPT-1.3B", Layers: 24, Hidden: 2048, Heads: 16, SeqLen: 1024, VocabSize: 51200, Nominal: 1.3e9},
+	"GPT-2.6B":  {Name: "GPT-2.6B", Layers: 32, Hidden: 2560, Heads: 32, SeqLen: 1024, VocabSize: 51200, Nominal: 2.6e9},
+	"GPT-6.7B":  {Name: "GPT-6.7B", Layers: 32, Hidden: 4096, Heads: 32, SeqLen: 1024, VocabSize: 51200, Nominal: 6.7e9},
+}
+
+// GPTSizes returns the available GPT variant names in ascending size.
+func GPTSizes() []string {
+	return []string{"GPT-0.76B", "GPT-1.3B", "GPT-2.6B", "GPT-6.7B"}
+}
+
+// GPTConfigFor returns the configuration for a named GPT variant.
+func GPTConfigFor(name string) (GPTConfig, error) {
+	c, ok := gptConfigs[name]
+	if !ok {
+		return GPTConfig{}, fmt.Errorf("model: unknown GPT variant %q", name)
+	}
+	return c, nil
+}
+
+// Build constructs the fine-grained operator graph: token embedding, one
+// fused operator per transformer layer split into attention and MLP halves,
+// and the LM head. Standard transformer arithmetic with fp16 storage:
+//
+//	attention params/layer: 4h²      MLP params/layer: 8h²
+//	attention fwd FLOPs:    8sh² + 4s²h
+//	MLP fwd FLOPs:          16sh²
+//
+// Tensor parallelism (Megatron-style) all-reduces the s×h activation once
+// after the attention block and once after the MLP block per forward pass.
+func (c GPTConfig) Build() *Graph {
+	const bytesPerParam = 2 // fp16
+	s := float64(c.SeqLen)
+	h := float64(c.Hidden)
+	actBytes := s * h * bytesPerParam // boundary activation per sample
+
+	ops := make([]Op, 0, 2*c.Layers+2)
+
+	// Token + position embedding. Lookup is memory-bound; params dominate.
+	embedParams := (float64(c.VocabSize) + s) * h * bytesPerParam
+	ops = append(ops, Op{
+		Name: "embed", Kind: KindEmbedding,
+		FLOPs:      2 * s * h,                                  // gather + scale
+		Bytes:      embedParams/float64(c.Layers) + 2*actBytes, // hot rows + output
+		ParamBytes: embedParams,
+		ActBytes:   actBytes,
+		// Vocab-parallel embedding all-reduces the output activation.
+		TPCommBytes: actBytes,
+		TPPrimitive: "all-reduce",
+		Shardable:   true,
+	})
+
+	for l := 0; l < c.Layers; l++ {
+		attnParams := 4 * h * h * bytesPerParam
+		attnFLOPs := 8*s*h*h + 4*s*s*h
+		// Traffic: weights once + Q/K/V/attn-probs/output activations.
+		attnBytes := attnParams + (8*s*h+2*s*s)*bytesPerParam
+		ops = append(ops, Op{
+			Name: fmt.Sprintf("layer%d/attn", l), Kind: KindAttention,
+			FLOPs:      attnFLOPs,
+			Bytes:      attnBytes,
+			ParamBytes: attnParams,
+			ActBytes:   actBytes,
+			// One all-reduce of the s×h output activation per fwd pass.
+			TPCommBytes: actBytes,
+			TPPrimitive: "all-reduce",
+			Shardable:   true,
+		})
+
+		mlpParams := 8 * h * h * bytesPerParam
+		mlpFLOPs := 16 * s * h * h
+		mlpBytes := mlpParams + (2*s*h+2*4*s*h)*bytesPerParam
+		ops = append(ops, Op{
+			Name: fmt.Sprintf("layer%d/mlp", l), Kind: KindMLP,
+			FLOPs:       mlpFLOPs,
+			Bytes:       mlpBytes,
+			ParamBytes:  mlpParams,
+			ActBytes:    actBytes,
+			TPCommBytes: actBytes,
+			TPPrimitive: "all-reduce",
+			Shardable:   true,
+		})
+	}
+
+	// LM head: projection back to vocabulary (weights tied with embedding
+	// in many implementations; we keep separate compute, zero extra params).
+	ops = append(ops, Op{
+		Name: "lm-head", Kind: KindHead,
+		FLOPs:       2 * s * h * float64(c.VocabSize),
+		Bytes:       float64(c.VocabSize)*h*bytesPerParam + actBytes + s*float64(c.VocabSize)*bytesPerParam,
+		ParamBytes:  0,
+		ActBytes:    s * 4, // loss scalar-ish; negligible boundary traffic
+		TPCommBytes: actBytes,
+		TPPrimitive: "all-reduce",
+		Shardable:   true,
+	})
+
+	return &Graph{
+		Name:         c.Name,
+		Family:       "gpt",
+		SeqLen:       c.SeqLen,
+		Ops:          ops,
+		Nominal:      c.Nominal,
+		ActMemFactor: 5,
+	}
+}

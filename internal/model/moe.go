@@ -1,0 +1,135 @@
+package model
+
+import "fmt"
+
+// MoEConfig describes a GShard-style mixture-of-experts transformer: every
+// other transformer layer replaces its dense MLP with an expert-routed MLP
+// bank (top-2 gating, capacity factor 2). MoE models carry far more
+// parameters than FLOPs — precisely the property that makes static
+// data-parallel scheduling overestimate their memory demands (§2.2 Case#2:
+// "MoE-2.4B is assigned 4 GPUs though trainable on 2 GPUs with AP").
+type MoEConfig struct {
+	Name      string
+	Layers    int // total transformer layers; every 2nd is MoE
+	Hidden    int
+	Experts   int // experts per MoE layer
+	SeqLen    int
+	VocabSize int
+	Nominal   float64
+}
+
+// MoE sizes from the paper (Table 2): 0.69B – 27B.
+var moeConfigs = map[string]MoEConfig{
+	"MoE-0.69B": {Name: "MoE-0.69B", Layers: 12, Hidden: 768, Experts: 20, SeqLen: 1024, VocabSize: 51200, Nominal: 0.69e9},
+	"MoE-1.3B":  {Name: "MoE-1.3B", Layers: 16, Hidden: 768, Experts: 32, SeqLen: 1024, VocabSize: 51200, Nominal: 1.3e9},
+	"MoE-2.4B":  {Name: "MoE-2.4B", Layers: 16, Hidden: 1024, Experts: 32, SeqLen: 1024, VocabSize: 51200, Nominal: 2.4e9},
+	"MoE-10B":   {Name: "MoE-10B", Layers: 16, Hidden: 1536, Experts: 64, SeqLen: 1024, VocabSize: 51200, Nominal: 10e9},
+	"MoE-27B":   {Name: "MoE-27B", Layers: 16, Hidden: 2048, Experts: 96, SeqLen: 1024, VocabSize: 51200, Nominal: 27e9},
+}
+
+// MoESizes returns the available MoE variant names in ascending size.
+func MoESizes() []string {
+	return []string{"MoE-0.69B", "MoE-1.3B", "MoE-2.4B", "MoE-10B", "MoE-27B"}
+}
+
+// MoEConfigFor returns the configuration for a named MoE variant.
+func MoEConfigFor(name string) (MoEConfig, error) {
+	c, ok := moeConfigs[name]
+	if !ok {
+		return MoEConfig{}, fmt.Errorf("model: unknown MoE variant %q", name)
+	}
+	return c, nil
+}
+
+// Build constructs the operator graph. Dense layers follow GPT arithmetic;
+// MoE layers hold Experts × 8h² parameters but compute only the top-2
+// routed experts (≈ 2× a dense MLP with capacity factor 2) and add two
+// all-to-all dispatch/combine exchanges across the expert-parallel group
+// per forward pass.
+func (c MoEConfig) Build() *Graph {
+	const bytesPerParam = 2
+	s := float64(c.SeqLen)
+	h := float64(c.Hidden)
+	actBytes := s * h * bytesPerParam
+
+	ops := make([]Op, 0, 2*c.Layers+2)
+
+	embedParams := (float64(c.VocabSize) + s) * h * bytesPerParam
+	ops = append(ops, Op{
+		Name: "embed", Kind: KindEmbedding,
+		FLOPs:       2 * s * h,
+		Bytes:       embedParams/float64(c.Layers) + 2*actBytes,
+		ParamBytes:  embedParams,
+		ActBytes:    actBytes,
+		TPCommBytes: actBytes,
+		TPPrimitive: "all-reduce",
+		Shardable:   true,
+	})
+
+	for l := 0; l < c.Layers; l++ {
+		attnParams := 4 * h * h * bytesPerParam
+		ops = append(ops, Op{
+			Name: fmt.Sprintf("layer%d/attn", l), Kind: KindAttention,
+			FLOPs:       8*s*h*h + 4*s*s*h,
+			Bytes:       attnParams + (8*s*h+2*s*s)*bytesPerParam,
+			ParamBytes:  attnParams,
+			ActBytes:    actBytes,
+			TPCommBytes: actBytes,
+			TPPrimitive: "all-reduce",
+			Shardable:   true,
+		})
+
+		if l%2 == 1 {
+			// MoE layer: E experts × 8h² params; top-2 routing computes two
+			// experts per token (capacity factor 2).
+			expertParams := float64(c.Experts) * 8 * h * h * bytesPerParam
+			moeFLOPs := 2 * 16 * s * h * h // two routed experts
+			// Traffic: touched expert weights (top-2 of E) + activations.
+			moeBytes := 2*8*h*h*bytesPerParam + (2*s*h+2*2*4*s*h)*bytesPerParam
+			ops = append(ops, Op{
+				Name: fmt.Sprintf("layer%d/moe", l), Kind: KindMoE,
+				FLOPs:      moeFLOPs,
+				Bytes:      moeBytes,
+				ParamBytes: expertParams,
+				ActBytes:   actBytes,
+				// Dispatch + combine all-to-all: capacity-factor-2 routed
+				// activations, twice per forward pass.
+				TPCommBytes: 2 * 2 * actBytes,
+				TPPrimitive: "all-to-all",
+				Shardable:   true,
+			})
+		} else {
+			mlpParams := 8 * h * h * bytesPerParam
+			ops = append(ops, Op{
+				Name: fmt.Sprintf("layer%d/mlp", l), Kind: KindMLP,
+				FLOPs:       16 * s * h * h,
+				Bytes:       mlpParams + (2*s*h+8*s*h)*bytesPerParam,
+				ParamBytes:  mlpParams,
+				ActBytes:    actBytes,
+				TPCommBytes: actBytes,
+				TPPrimitive: "all-reduce",
+				Shardable:   true,
+			})
+		}
+	}
+
+	ops = append(ops, Op{
+		Name: "lm-head", Kind: KindHead,
+		FLOPs:       2 * s * h * float64(c.VocabSize),
+		Bytes:       float64(c.VocabSize)*h*bytesPerParam + actBytes + s*float64(c.VocabSize)*bytesPerParam,
+		ParamBytes:  0,
+		ActBytes:    s * 4,
+		TPCommBytes: actBytes,
+		TPPrimitive: "all-reduce",
+		Shardable:   true,
+	})
+
+	return &Graph{
+		Name:         c.Name,
+		Family:       "moe",
+		SeqLen:       c.SeqLen,
+		Ops:          ops,
+		Nominal:      c.Nominal,
+		ActMemFactor: 5,
+	}
+}

@@ -1,0 +1,99 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultClusterSize is the operator-cluster count used throughout the
+// paper's pipeline: operators are pre-clustered to O = 16 groups to control
+// problem size (§3.3, footnote 2, following Alpa).
+const DefaultClusterSize = 16
+
+// Build constructs the fine-grained operator graph for any model variant
+// by name ("GPT-1.3B", "MoE-2.4B", "WRes-1B", ...).
+func Build(name string) (*Graph, error) {
+	if c, err := GPTConfigFor(name); err == nil {
+		return c.Build(), nil
+	}
+	if c, err := MoEConfigFor(name); err == nil {
+		return c.Build(), nil
+	}
+	if c, err := WResConfigFor(name); err == nil {
+		return c.Build(), nil
+	}
+	return nil, fmt.Errorf("model: unknown model %q", name)
+}
+
+// BuildClustered constructs the operator graph clustered to the default
+// 16 operator groups, the representation every Arena component consumes.
+func BuildClustered(name string) (*Graph, error) {
+	g, err := Build(name)
+	if err != nil {
+		return nil, err
+	}
+	return g.Cluster(DefaultClusterSize), nil
+}
+
+// MustBuildClustered is BuildClustered for static configuration.
+func MustBuildClustered(name string) *Graph {
+	g, err := BuildClustered(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Names returns every model variant name across the three families,
+// grouped by family and ascending in size.
+func Names() []string {
+	var out []string
+	out = append(out, WResSizes()...)
+	out = append(out, GPTSizes()...)
+	out = append(out, MoESizes()...)
+	return out
+}
+
+// BatchSizes returns the global batch sizes Table 2 associates with a
+// model family.
+func BatchSizes(family string) ([]int, error) {
+	switch family {
+	case "gpt":
+		return []int{128, 256, 512}, nil
+	case "moe":
+		return []int{256, 512, 1024}, nil
+	case "wresnet":
+		return []int{256, 512, 1024}, nil
+	default:
+		return nil, fmt.Errorf("model: unknown family %q", family)
+	}
+}
+
+// Workload pairs a model with a global batch size — the unit the scheduler
+// profiles and places.
+type Workload struct {
+	Model       string
+	GlobalBatch int
+}
+
+// String implements fmt.Stringer; the form is used as a stable map key.
+func (w Workload) String() string { return fmt.Sprintf("%s@%d", w.Model, w.GlobalBatch) }
+
+// Workloads enumerates every (model, batch) pair of Table 2, sorted by the
+// string key for deterministic iteration.
+func Workloads() []Workload {
+	var out []Workload
+	add := func(names []string, family string) {
+		batches, _ := BatchSizes(family)
+		for _, n := range names {
+			for _, b := range batches {
+				out = append(out, Workload{Model: n, GlobalBatch: b})
+			}
+		}
+	}
+	add(WResSizes(), "wresnet")
+	add(GPTSizes(), "gpt")
+	add(MoESizes(), "moe")
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,130 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// WResConfig describes a Wide-ResNet-50-style convolutional network scaled
+// to billions of parameters by channel widening (Table 2: 0.5B – 6.8B).
+// The paper notes (Fig. 6 caption) that "the later layers in Wide-ResNet
+// are typically larger": channel counts double per block group while
+// spatial resolution shrinks more slowly in the wide regime, so both
+// parameters and per-layer time grow with depth — the model family with
+// the most *imbalanced* layer structure, used in §5.4's Pareto case study.
+type WResConfig struct {
+	Name        string
+	WidthFactor float64 // channel multiplier over ResNet-50's 64-channel stem
+	BlocksPer   [4]int  // bottleneck blocks per group (ResNet-50: 3,4,6,3)
+	ImageSize   int     // input resolution (224 in the paper's workloads)
+	Nominal     float64
+}
+
+// Wide-ResNet sizes from the paper (Table 2). Width factors are chosen so
+// the analytic parameter counts land near the nominal sizes.
+var wresConfigs = map[string]WResConfig{
+	"WRes-0.5B": {Name: "WRes-0.5B", WidthFactor: 4.4, BlocksPer: [4]int{3, 4, 6, 3}, ImageSize: 224, Nominal: 0.5e9},
+	"WRes-1B":   {Name: "WRes-1B", WidthFactor: 6.3, BlocksPer: [4]int{3, 4, 6, 3}, ImageSize: 224, Nominal: 1e9},
+	"WRes-2B":   {Name: "WRes-2B", WidthFactor: 8.8, BlocksPer: [4]int{3, 4, 6, 3}, ImageSize: 224, Nominal: 2e9},
+	"WRes-4B":   {Name: "WRes-4B", WidthFactor: 12.5, BlocksPer: [4]int{3, 4, 6, 3}, ImageSize: 224, Nominal: 4e9},
+	"WRes-6.8B": {Name: "WRes-6.8B", WidthFactor: 16.3, BlocksPer: [4]int{3, 4, 6, 3}, ImageSize: 224, Nominal: 6.8e9},
+}
+
+// WResSizes returns the available Wide-ResNet variant names ascending.
+func WResSizes() []string {
+	return []string{"WRes-0.5B", "WRes-1B", "WRes-2B", "WRes-4B", "WRes-6.8B"}
+}
+
+// WResConfigFor returns the configuration for a named Wide-ResNet variant.
+func WResConfigFor(name string) (WResConfig, error) {
+	c, ok := wresConfigs[name]
+	if !ok {
+		return WResConfig{}, fmt.Errorf("model: unknown Wide-ResNet variant %q", name)
+	}
+	return c, nil
+}
+
+// Build constructs the operator graph: a stem convolution, 16 bottleneck
+// blocks across 4 groups, and a pooled classifier head. Per group, channels
+// double while spatial extent divides by 1.6 (wide networks retain
+// resolution longer than the canonical stride-2 ladder), so per-block
+// FLOPs grow ≈ 1.56× and parameters grow 4× per group — later layers are
+// larger in both time and memory, as the paper observes.
+func (c WResConfig) Build() *Graph {
+	const bytesPerParam = 2
+	img := float64(c.ImageSize)
+
+	ops := make([]Op, 0, 18)
+
+	// Stem: 7×7 conv, stride 2 + pooling. Channels = 64 × width.
+	stemC := 64 * c.WidthFactor
+	stemHW := img / 4 // conv stride 2 + pool stride 2
+	stemParams := 7 * 7 * 3 * stemC * bytesPerParam
+	stemFLOPs := 2 * 7 * 7 * 3 * stemC * (img / 2) * (img / 2)
+	stemAct := stemC * stemHW * stemHW * bytesPerParam
+	ops = append(ops, Op{
+		Name: "stem", Kind: KindConv,
+		FLOPs:      stemFLOPs,
+		Bytes:      stemParams + 3*img*img*bytesPerParam + 2*stemAct,
+		ParamBytes: stemParams,
+		ActBytes:   stemAct,
+		// Channel-parallel conv all-reduces its output activation.
+		TPCommBytes: stemAct,
+		TPPrimitive: "all-reduce",
+		Shardable:   true,
+	})
+
+	hw := stemHW // 56 at 224 input
+	inC := stemC
+	for g := 0; g < 4; g++ {
+		outC := 64 * c.WidthFactor * math.Pow(2, float64(g)) * 4 // bottleneck expansion 4
+		midC := outC / 4
+		if g > 0 {
+			hw = hw / 1.6 // gentle spatial reduction (wide regime)
+		}
+		for b := 0; b < c.BlocksPer[g]; b++ {
+			cin := inC
+			if b > 0 {
+				cin = outC
+			}
+			// Bottleneck: 1×1 (cin→mid), 3×3 (mid→mid), 1×1 (mid→out).
+			params := (cin*midC + 9*midC*midC + midC*outC) * bytesPerParam
+			flops := 2 * (cin*midC + 9*midC*midC + midC*outC) * hw * hw
+			actOut := outC * hw * hw * bytesPerParam
+			actIn := cin * hw * hw * bytesPerParam
+			ops = append(ops, Op{
+				Name: fmt.Sprintf("group%d/block%d", g+1, b), Kind: KindConv,
+				FLOPs:       flops,
+				Bytes:       params + actIn + 2*actOut,
+				ParamBytes:  params,
+				ActBytes:    actOut,
+				TPCommBytes: actOut,
+				TPPrimitive: "all-reduce",
+				Shardable:   true,
+			})
+		}
+		inC = outC
+	}
+
+	// Classifier head: global pool + FC to 1000 classes.
+	headParams := inC * 1000 * bytesPerParam
+	ops = append(ops, Op{
+		Name: "head", Kind: KindHead,
+		FLOPs:       2 * inC * 1000,
+		Bytes:       headParams + inC*bytesPerParam,
+		ParamBytes:  headParams,
+		ActBytes:    1000 * 4,
+		TPCommBytes: inC * bytesPerParam,
+		TPPrimitive: "all-reduce",
+		Shardable:   true,
+	})
+
+	return &Graph{
+		Name:         c.Name,
+		Family:       "wresnet",
+		SeqLen:       0,
+		Ops:          ops,
+		Nominal:      c.Nominal,
+		ActMemFactor: 2.5,
+	}
+}

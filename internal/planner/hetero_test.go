@@ -1,0 +1,177 @@
+package planner
+
+import (
+	"testing"
+
+	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/parallel"
+)
+
+func TestPlanHeteroBasic(t *testing.T) {
+	g, err := model.BuildClustered("GPT-1.3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := HeteroPool{"A100": 2, "V100": 4}
+	plan, err := New().PlanHetero(g, pool, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Budget respected per type.
+	demand := plan.TotalGPUs()
+	for typ, n := range demand {
+		if n > pool[typ] {
+			t.Errorf("plan uses %d×%s, pool has %d", n, typ, pool[typ])
+		}
+	}
+	// Both regions should participate for a 2-stage plan over this pool.
+	if len(demand) < 2 {
+		t.Errorf("expected a genuinely heterogeneous plan, got %v", demand)
+	}
+}
+
+func TestPlanHeteroExecutes(t *testing.T) {
+	g, err := model.BuildClustered("GPT-2.6B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := HeteroPool{"A100": 4, "V100": 4}
+	plan, err := New().PlanHetero(g, pool, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := exec.NewEngine(42)
+	res, err := eng.EvaluateHetero(g, plan, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fits || res.Throughput <= 0 {
+		t.Fatalf("hetero plan unrunnable: %+v", res)
+	}
+}
+
+func TestPlanHeteroFasterTypeGetsHeavierStage(t *testing.T) {
+	// Wide-ResNet's later layers are heavier; the faster type should host
+	// a load share at least proportional to its capability.
+	g, err := model.BuildClustered("WRes-1B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := HeteroPool{"H100": 2, "V100": 2}
+	plan, err := New().PlanHetero(g, pool, 2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := hw.MustLookup("V100")
+	loadOf := func(st exec.HeteroStage) float64 {
+		var l float64
+		for _, op := range g.Ops[st.OpStart:st.OpEnd] {
+			l += OperatorLoad(op, ref)
+		}
+		return l
+	}
+	var h100Load, v100Load float64
+	for _, st := range plan.Stages {
+		switch st.GPUType {
+		case "H100":
+			h100Load += loadOf(st)
+		case "V100":
+			v100Load += loadOf(st)
+		}
+	}
+	if h100Load <= v100Load {
+		t.Errorf("H100 stages should carry more load (H100=%v V100=%v)", h100Load, v100Load)
+	}
+}
+
+func TestPlanHeteroBeatsSlowHomogeneous(t *testing.T) {
+	// Adding fast GPUs to a slow pool should beat the slow pool alone —
+	// the point of the §6 extension.
+	g, err := model.BuildClustered("GPT-1.3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := exec.NewEngine(42)
+	pl := New()
+
+	mixed, err := pl.PlanHetero(g, HeteroPool{"A100": 2, "V100": 2}, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixedRes, err := eng.EvaluateHetero(g, mixed, 128)
+	if err != nil || !mixedRes.Fits {
+		t.Fatalf("mixed plan failed: %v", err)
+	}
+
+	slow, err := pl.PlanHetero(g, HeteroPool{"V100": 4}, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRes, err := eng.EvaluateHetero(g, slow, 128)
+	if err != nil || !slowRes.Fits {
+		t.Fatalf("slow plan failed: %v", err)
+	}
+	if mixedRes.Throughput <= slowRes.Throughput {
+		t.Errorf("mixed pool (%v) should beat all-V100 (%v)", mixedRes.Throughput, slowRes.Throughput)
+	}
+}
+
+func TestPlanHeteroValidation(t *testing.T) {
+	g, _ := model.BuildClustered("GPT-1.3B")
+	if _, err := New().PlanHetero(g, HeteroPool{}, 2, 128); err == nil {
+		t.Error("empty pool should error")
+	}
+	if _, err := New().PlanHetero(g, HeteroPool{"A100": 4}, 0, 128); err == nil {
+		t.Error("zero stages should error")
+	}
+	// A pool too small for the model's memory should fail feasibly.
+	if _, err := New().PlanHetero(model.MustBuildClustered("MoE-27B"), HeteroPool{"A10": 1}, 1, 256); err == nil {
+		t.Error("infeasible pool should error")
+	}
+}
+
+func TestHeteroPlanValidateCatchesMistakes(t *testing.T) {
+	g, _ := model.BuildClustered("GPT-1.3B")
+	bad := &exec.HeteroPlan{
+		Stages: []exec.HeteroStage{
+			{StagePlan: parallelStage(0, len(g.Ops)/2, 1, 1), GPUType: "A100"},
+			{StagePlan: parallelStage(len(g.Ops)/2+1, len(g.Ops), 1, 1), GPUType: "V100"}, // gap
+		},
+		NumMicrobatches: 8,
+	}
+	if err := bad.Validate(g); err == nil {
+		t.Error("gap should fail validation")
+	}
+	unknown := &exec.HeteroPlan{
+		Stages:          []exec.HeteroStage{{StagePlan: parallelStage(0, len(g.Ops), 1, 1), GPUType: "TPU"}},
+		NumMicrobatches: 4,
+	}
+	if err := unknown.Validate(g); err == nil {
+		t.Error("unknown type should fail validation")
+	}
+}
+
+func TestNearestPow2(t *testing.T) {
+	cases := []struct {
+		ideal  float64
+		budget int
+		want   int
+	}{
+		{0.3, 8, 1}, {1.6, 8, 2}, {3.1, 8, 4}, {7.9, 8, 8}, {12, 8, 8},
+		{5, 0, 0}, {2.9, 2, 2},
+	}
+	for _, c := range cases {
+		if got := nearestPow2(c.ideal, c.budget); got != c.want {
+			t.Errorf("nearestPow2(%v,%d) = %d, want %d", c.ideal, c.budget, got, c.want)
+		}
+	}
+}
+
+func parallelStage(start, end, dp, tp int) parallel.StagePlan {
+	return parallel.StagePlan{OpStart: start, OpEnd: end, DP: dp, TP: tp}
+}

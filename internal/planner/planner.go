@@ -1,0 +1,294 @@
+// Package planner implements Arena's load-aware, execution-free parallelism
+// planning (§3.3). For each grid (fixed resource and pipeline degree) it:
+//
+//  1. computes roofline-based operator loads L_i = FLOPs_i / R(I_i) from
+//     static model information and hardware specifications only (Eq. 2);
+//  2. enumerates the C(O−1, s−1) contiguous stage partitions, assigns each
+//     stage GPUs proportional to its load, and normalizes the assignment to
+//     powers of two by minimizing the computation-bias metric b_comp, the
+//     Euclidean distance to the ideal fractional assignment (Eq. 3);
+//  3. selects intra-stage parallelism per stage by minimizing analytic
+//     communication cost within memory limits;
+//  4. scores each candidate with the communication-load metric l_comm
+//     (Eq. 4), deduces the Pareto frontier over (b_comp, l_comm), reduces
+//     it when oversized, and picks the proxy plan: minimum computation
+//     bias first, then minimum communication load.
+//
+// Everything here is execution-free: only hardware specs and operator
+// shape arithmetic are consulted, never measured latencies.
+package planner
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/parallel"
+)
+
+// Planner holds the tunables of the planning pass.
+type Planner struct {
+	// MaxFrontier caps the Pareto frontier size; larger frontiers are
+	// reduced by dropping the higher-communication plan of the most
+	// similar partition pair (§3.3).
+	MaxFrontier int
+	// BiasTolerance widens the "minimum computation bias" filter during
+	// proxy selection to plans within (1+BiasTolerance)×min, letting the
+	// communication load break near-ties.
+	BiasTolerance float64
+}
+
+// New returns a Planner with the paper-aligned defaults.
+func New() *Planner {
+	return &Planner{MaxFrontier: 16, BiasTolerance: 0.05}
+}
+
+// Candidate is one generated parallelism plan with its two planning
+// metrics. Candidates never carry measured latencies.
+type Candidate struct {
+	Plan  *parallel.Plan
+	BComp float64 // computation bias (Eq. 3); lower = better balanced
+	LComm float64 // communication load (Eq. 4), seconds-equivalent
+
+	OpsPerStage  []int     // partition shape, for similarity comparisons
+	GPUsPerStage []int     // normalized power-of-two assignment
+	IdealAssign  []float64 // fractional load-proportional assignment
+}
+
+// GridPlan is the planner's output for one grid.
+type GridPlan struct {
+	Grid     core.Grid
+	Feasible bool         // false when no partition fits device memory
+	Proxy    *Candidate   // the grid's representative plan (profiled later)
+	Frontier []*Candidate // Pareto-optimal candidates (after reduction)
+
+	// CandidatesEvaluated counts enumerated partitions, for cost analysis.
+	CandidatesEvaluated int
+}
+
+// opRangeStats caches prefix aggregates so per-range queries are O(1).
+type opRangeStats struct {
+	load   []float64 // prefix sums of operator loads
+	params []float64 // prefix sums of ParamBytes
+}
+
+func newRangeStats(g *model.Graph, spec hw.GPU) *opRangeStats {
+	n := len(g.Ops)
+	s := &opRangeStats{
+		load:   make([]float64, n+1),
+		params: make([]float64, n+1),
+	}
+	for i, op := range g.Ops {
+		s.load[i+1] = s.load[i] + OperatorLoad(op, spec)
+		s.params[i+1] = s.params[i] + op.ParamBytes
+	}
+	return s
+}
+
+func (s *opRangeStats) loadOf(i, j int) float64   { return s.load[j] - s.load[i] }
+func (s *opRangeStats) paramsOf(i, j int) float64 { return s.params[j] - s.params[i] }
+
+// OperatorLoad is the roofline-based load of Eq. 2 for one training step of
+// one sample: L = FLOPs / R(I). Expressed through the ideal kernel time so
+// memory-bound operators (R(I) = I·BW) reduce to bytes/bandwidth. Training
+// moves ≈ 3× the forward FLOPs and traffic (fwd + 2× bwd).
+func OperatorLoad(op model.Op, spec hw.GPU) float64 {
+	return spec.IdealKernelTime(3*op.FLOPs, 3*op.Bytes)
+}
+
+// PlanGrid produces the proxy plan and Pareto frontier for one grid.
+func (pl *Planner) PlanGrid(g *model.Graph, grid core.Grid) (*GridPlan, error) {
+	spec, err := hw.Lookup(grid.GPUType)
+	if err != nil {
+		return nil, err
+	}
+	numOps := len(g.Ops)
+	if grid.S < 1 || grid.S > numOps || grid.S > grid.N {
+		return nil, fmt.Errorf("planner: grid %v infeasible shape (O=%d)", grid, numOps)
+	}
+
+	stats := newRangeStats(g, spec)
+	totalLoad := stats.loadOf(0, numOps)
+	if totalLoad <= 0 {
+		return nil, fmt.Errorf("planner: graph %s has zero load", g.Name)
+	}
+
+	numMicro := parallel.DefaultMicrobatches(grid.S)
+	intra := newIntraSelector(g, spec, grid, numMicro)
+
+	out := &GridPlan{Grid: grid}
+	var candidates []*Candidate
+
+	forEachPartition(numOps, grid.S, func(bounds []int) {
+		out.CandidatesEvaluated++
+		cand := pl.buildCandidate(g, spec, grid, stats, intra, bounds, totalLoad, numMicro)
+		if cand != nil {
+			candidates = append(candidates, cand)
+		}
+	})
+
+	if len(candidates) == 0 {
+		return out, nil // infeasible grid: nothing fits memory
+	}
+	out.Feasible = true
+	out.Frontier = pl.reduceFrontier(paretoFrontier(candidates))
+	out.Proxy = pl.selectProxy(out.Frontier)
+	return out, nil
+}
+
+// EnumerateCandidates returns every generated candidate of the grid (one
+// per memory-feasible partition) without Pareto filtering — used by the
+// §5.4 case study (Fig. 14), which measures the whole grid population.
+func (pl *Planner) EnumerateCandidates(g *model.Graph, grid core.Grid) []*Candidate {
+	spec, err := hw.Lookup(grid.GPUType)
+	if err != nil {
+		return nil
+	}
+	numOps := len(g.Ops)
+	if grid.S < 1 || grid.S > numOps || grid.S > grid.N {
+		return nil
+	}
+	stats := newRangeStats(g, spec)
+	totalLoad := stats.loadOf(0, numOps)
+	if totalLoad <= 0 {
+		return nil
+	}
+	numMicro := parallel.DefaultMicrobatches(grid.S)
+	intra := newIntraSelector(g, spec, grid, numMicro)
+	var out []*Candidate
+	forEachPartition(numOps, grid.S, func(bounds []int) {
+		if cand := pl.buildCandidate(g, spec, grid, stats, intra, bounds, totalLoad, numMicro); cand != nil {
+			out = append(out, cand)
+		}
+	})
+	return out
+}
+
+// buildCandidate evaluates a single stage partition (bounds = exclusive end
+// indices per stage): load-proportional GPU assignment, power-of-two
+// normalization, intra-stage parallelism, and the two planning metrics.
+// Returns nil when no memory-feasible intra-stage choice exists.
+func (pl *Planner) buildCandidate(
+	g *model.Graph, spec hw.GPU, grid core.Grid,
+	stats *opRangeStats, intra *intraSelector,
+	bounds []int, totalLoad float64, numMicro int,
+) *Candidate {
+	s := grid.S
+	ideal := make([]float64, s)
+	opsPer := make([]int, s)
+	start := 0
+	for j, end := range bounds {
+		ideal[j] = stats.loadOf(start, end) / totalLoad * float64(grid.N)
+		opsPer[j] = end - start
+		start = end
+	}
+
+	assign, bias2 := normalizeAssignment(ideal, grid.N)
+	if assign == nil {
+		return nil
+	}
+
+	stages := make([]parallel.StagePlan, s)
+	var maxStageComm, totalComm float64
+	start = 0
+	for j, end := range bounds {
+		choice := intra.best(start, end, assign[j])
+		if choice == nil {
+			return nil // no feasible (dp, tp) for this stage
+		}
+		stages[j] = parallel.StagePlan{OpStart: start, OpEnd: end, DP: choice.dp, TP: choice.tp}
+		perMicro := choice.perMicroComm
+		if perMicro > maxStageComm {
+			maxStageComm = perMicro
+		}
+		totalComm += perMicro + choice.iterComm
+		start = end
+	}
+
+	// Communication load (Eq. 4): the bottleneck stage's per-microbatch
+	// communication repeats for B−1 microbatches; every communication
+	// operator contributes once for the fill phase, and per-iteration
+	// gradient synchronization is counted once.
+	lComm := float64(numMicro-1)*maxStageComm + totalComm
+
+	return &Candidate{
+		Plan:         &parallel.Plan{Stages: stages, NumMicrobatches: numMicro},
+		BComp:        math.Sqrt(bias2),
+		LComm:        lComm,
+		OpsPerStage:  opsPer,
+		GPUsPerStage: assign,
+		IdealAssign:  ideal,
+	}
+}
+
+// forEachPartition enumerates all compositions of numOps operators into s
+// non-empty contiguous groups, invoking fn with the exclusive end index of
+// each group. fn must not retain the slice.
+func forEachPartition(numOps, s int, fn func(bounds []int)) {
+	bounds := make([]int, s)
+	bounds[s-1] = numOps
+	var rec func(stage, start int)
+	rec = func(stage, start int) {
+		if stage == s-1 {
+			fn(bounds)
+			return
+		}
+		// Stage `stage` takes ops [start, end); leave ≥1 op per later stage.
+		for end := start + 1; end <= numOps-(s-1-stage); end++ {
+			bounds[stage] = end
+			rec(stage+1, end)
+		}
+	}
+	rec(0, 0)
+}
+
+// normalizeAssignment finds the power-of-two per-stage GPU counts summing
+// to n that minimize the squared Euclidean distance to the ideal
+// fractional assignment (Eq. 3), via dynamic programming over stages.
+// Returns nil when n < len(ideal) (cannot give each stage a GPU).
+func normalizeAssignment(ideal []float64, n int) ([]int, float64) {
+	s := len(ideal)
+	if n < s {
+		return nil, 0
+	}
+	const inf = math.MaxFloat64
+	// dp[j][r]: min cost assigning stages j.. with r GPUs remaining.
+	dp := make([][]float64, s+1)
+	choice := make([][]int, s+1)
+	for j := range dp {
+		dp[j] = make([]float64, n+1)
+		choice[j] = make([]int, n+1)
+		for r := range dp[j] {
+			dp[j][r] = inf
+		}
+	}
+	dp[s][0] = 0
+	for j := s - 1; j >= 0; j-- {
+		for r := 1; r <= n; r++ {
+			for p := 1; p <= r; p *= 2 {
+				rest := dp[j+1][r-p]
+				if rest == inf {
+					continue
+				}
+				d := float64(p) - ideal[j]
+				cost := d*d + rest
+				if cost < dp[j][r] {
+					dp[j][r] = cost
+					choice[j][r] = p
+				}
+			}
+		}
+	}
+	if dp[0][n] == inf {
+		return nil, 0
+	}
+	assign := make([]int, s)
+	r := n
+	for j := 0; j < s; j++ {
+		assign[j] = choice[j][r]
+		r -= assign[j]
+	}
+	return assign, dp[0][n]
+}

@@ -1,0 +1,124 @@
+// Package rng provides small, allocation-free deterministic random number
+// generators used throughout the Arena reproduction.
+//
+// Everything stochastic in this repository — execution-engine jitter, trace
+// generation, workload synthesis — draws from seeded SplitMix64 streams so
+// that every experiment is reproducible bit-for-bit across runs and
+// platforms. The standard library's math/rand is deliberately avoided for
+// core paths: SplitMix64 gives us a pure function from (seed, sequence
+// position) to value, which makes per-entity streams (one per operator, one
+// per job) trivial to derive without shared state.
+package rng
+
+import "math"
+
+// SplitMix64 is a tiny, fast, well-distributed PRNG. It is the generator
+// recommended for seeding xoshiro-family PRNGs and passes BigCrush.
+//
+// The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New returns a SplitMix64 stream seeded with seed.
+func New(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	// 53 high bits -> uniform double in [0,1).
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed value in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Range returns a uniformly distributed value in [lo, hi).
+func (s *SplitMix64) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given mean,
+// suitable for inter-arrival-time synthesis. Mean must be positive.
+func (s *SplitMix64) Exp(mean float64) float64 {
+	// Inverse-CDF sampling; guard against log(0).
+	u := s.Float64()
+	if u <= 0 {
+		u = 1e-18
+	}
+	return -mean * ln(u)
+}
+
+// LogNormalish returns a heavy-tailed positive value with the given median
+// and spread (a multiplicative sigma-like factor > 1). It approximates a
+// log-normal by exponentiating a triangular sum of uniforms, avoiding
+// math.Exp/math.Log imports in hot paths is not a concern here; we use the
+// real functions for fidelity.
+func (s *SplitMix64) LogNormalish(median, spread float64) float64 {
+	// Sum of 3 uniforms in [-1,1] approximates a Gaussian with sigma ~ 0.577*sqrt(3).
+	g := (s.Float64() + s.Float64() + s.Float64()) - 1.5 // ~N(0, 0.5)
+	return median * pow(spread, g*2)
+}
+
+// Hash64 mixes an arbitrary 64-bit key into a well-distributed 64-bit value
+// using the SplitMix64 finalizer. It is the basis for derived streams:
+// Derive(seed, k1, k2, ...) produces independent streams per entity.
+func Hash64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// HashString hashes a string with FNV-1a into 64 bits and finalizes with
+// SplitMix64 mixing. Used to derive per-name jitter streams.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return Hash64(h)
+}
+
+// Derive combines a seed with a sequence of keys into a new independent
+// stream. Keys are folded with distinct odd multipliers so that permuted
+// key tuples yield unrelated streams.
+func Derive(seed uint64, keys ...uint64) *SplitMix64 {
+	h := Hash64(seed)
+	for i, k := range keys {
+		h = Hash64(h ^ (k+1)*odd(i))
+	}
+	return New(h)
+}
+
+func odd(i int) uint64 {
+	// Distinct odd constants per position.
+	consts := [...]uint64{
+		0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F, 0x165667B19E3779F9,
+		0x27D4EB2F165667C5, 0x85EBCA77C2B2AE63, 0xFF51AFD7ED558CCD,
+	}
+	return consts[i%len(consts)]
+}
+
+func ln(x float64) float64     { return math.Log(x) }
+func pow(x, y float64) float64 { return math.Pow(x, y) }

@@ -1,0 +1,427 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
+)
+
+// Objective selects the scheduling goal of the generalized event-driven
+// policy (§3.5): throughput maximization (Eq. 5), deadline awareness
+// (Eq. 6), or finish-time fairness (Eq. 7).
+type Objective string
+
+// Supported objectives.
+const (
+	ObjThroughput Objective = "throughput"
+	ObjDeadline   Objective = "deadline"
+	ObjFairness   Objective = "fairness"
+)
+
+// ArenaPolicy implements Algorithm 1: priority-based multi-queue
+// launching with conditional same-queue preemption and priority
+// promotion, two-dimensional (elasticity × heterogeneity) scaling with a
+// bounded search depth, and AP-aware performance data from the grid
+// profiles. The Disable* switches realize the Fig. 17 ablations.
+type ArenaPolicy struct {
+	P            int     // priority queue count (§5.8: 3 in practice)
+	D            int     // scaling search depth (§5.8: 2–5)
+	PromoteAfter float64 // queueing time before priority promotion
+	Objective    Objective
+
+	// Ablation switches (§5.7, Fig. 17).
+	DisablePlanner  bool // schedule on static-DP performance data
+	DisableProfiler bool // fall back to direct multi-GPU profiling
+	DisableElastic  bool // pin each job to its requested GPU count
+	DisableHetero   bool // pin each job to its requested GPU type
+	DisablePruning  bool // deploy with the full AP search
+}
+
+// NewArena returns the paper-default configuration.
+func NewArena() *ArenaPolicy {
+	return &ArenaPolicy{
+		P: 3, D: 3,
+		PromoteAfter: 2 * 3600,
+		Objective:    ObjThroughput,
+	}
+}
+
+// Name implements Policy.
+func (p *ArenaPolicy) Name() string {
+	switch {
+	case p.DisablePlanner:
+		return "arena-w/o-planner"
+	case p.DisableProfiler:
+		return "arena-w/o-profiler"
+	case p.DisableElastic:
+		return "arena-w/o-elastic"
+	case p.DisableHetero:
+		return "arena-w/o-hetero"
+	case p.DisablePruning:
+		return "arena-w/o-pruning"
+	case p.Objective == ObjDeadline:
+		return "arena-ddl"
+	case p.Objective == ObjFairness:
+		return "arena-fair"
+	default:
+		return "arena"
+	}
+}
+
+// PerceivedThr implements Policy: Arena's estimates come from the
+// profiled grid proxies; the w/o-planner ablation degrades to the static
+// DP view (falling back to the AP estimate only when DP is infeasible on
+// every resource, mirroring a manually configured plan).
+func (p *ArenaPolicy) PerceivedThr(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	if p.DisablePlanner {
+		// "Assuming jobs are executed with DP" (§5.7): the DP profile
+		// where it exists, otherwise the same linear bootstrapped view an
+		// SP-aware scheduler would fall back to.
+		if t := db.DPThr(w, gpuType, n); t > 0 {
+			return t
+		}
+		return db.SiaEst(w, gpuType, n, 1)
+	}
+	return db.ArenaEstThr(w, gpuType, n)
+}
+
+// ActualThr implements Policy: jobs run the pruned-search plan (§3.6).
+func (p *ArenaPolicy) ActualThr(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	if t := db.ArenaActualThr(w, gpuType, n); t > 0 {
+		return t
+	}
+	// Pruned search found nothing for this grid: fall back to full AP
+	// (the runtime degrades gracefully to the backend's own search).
+	return db.APThr(w, gpuType, n)
+}
+
+// ProfilePrepend implements Policy: single-GPU disaggregated grid
+// profiling; the w/o-profiler ablation reverts to direct multi-GPU
+// measurement, whose contention with in-flight jobs the paper highlights
+// (§5.7) — modeled as a far longer ahead-of-time pass.
+func (p *ArenaPolicy) ProfilePrepend(db *perfdb.DB, w model.Workload) float64 {
+	if p.DisableProfiler {
+		return 6 * db.DPProfileWall(w)
+	}
+	return db.ArenaProfileWall(w)
+}
+
+// DeployOverhead implements Policy: space-pruned AP search (§3.6), or the
+// full search under the w/o-pruning ablation.
+func (p *ArenaPolicy) DeployOverhead(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	if p.DisablePruning {
+		return db.SearchTimeFull(w, gpuType, n)
+	}
+	if t := db.SearchTimePruned(w, gpuType, n); t > 0 {
+		return t
+	}
+	return db.SearchTimeFull(w, gpuType, n)
+}
+
+// freeMap snapshots per-type free capacity for what-if planning.
+func freeMap(ctx *Context) map[string]int {
+	m := map[string]int{}
+	for _, typ := range ctx.Cluster.GPUTypes() {
+		m[typ] = ctx.Cluster.FreeGPUs(typ)
+	}
+	return m
+}
+
+// Assign implements Algorithm 1.
+func (p *ArenaPolicy) Assign(ctx *Context) Assignment {
+	asg := NewAssignment()
+	free := freeMap(ctx)
+	// Track per-round target sizes of running jobs (after scale ops).
+	target := map[string]Alloc{}
+	for _, j := range ctx.Running {
+		target[j.Trace.ID] = j.Alloc
+	}
+	depth := 0
+
+	p.promote(ctx)
+
+	// --- Launch phase (LEventHandler, lines 6–16). ---
+	queued := append([]*Job(nil), ctx.Queued...)
+	sort.SliceStable(queued, func(a, b int) bool {
+		if queued[a].CurPriority != queued[b].CurPriority {
+			return queued[a].CurPriority < queued[b].CurPriority
+		}
+		return queued[a].SubmittedAt < queued[b].SubmittedAt
+	})
+	blockedPrio := p.P + 1
+	for _, job := range queued {
+		if job.CurPriority > blockedPrio {
+			// A higher-priority queue is blocked; later queues must wait
+			// (Algorithm 1, line 9). Same-queue jobs may still try — the
+			// conditional preemption privilege of §3.5.
+			break
+		}
+		if p.Objective == ObjDeadline && p.hopeless(ctx, job) {
+			asg.Drop = append(asg.Drop, job.Trace.ID)
+			continue
+		}
+		depth = 0 // the search depth bounds each launch event (Alg. 1 l.13)
+		if ok := p.tryLaunch(ctx, job, free, target, &depth, &asg); !ok {
+			if job.CurPriority < blockedPrio {
+				blockedPrio = job.CurPriority
+			}
+		}
+	}
+
+	// --- Scale-up phase (InFlightHandler, lines 17–20). ---
+	depth = 0
+	p.scaleUp(ctx, free, target, &depth, &asg)
+	return asg
+}
+
+// promote raises the live priority of long-queued jobs (§3.5: "a job
+// priority λ is promoted to λ−1 after prolonged queuing").
+func (p *ArenaPolicy) promote(ctx *Context) {
+	for _, j := range ctx.Queued {
+		waited := ctx.Now - j.SubmittedAt
+		levels := 0
+		if p.PromoteAfter > 0 {
+			levels = int(waited / p.PromoteAfter)
+		}
+		cur := j.Trace.Priority - levels
+		if cur < 1 {
+			cur = 1
+		}
+		j.CurPriority = cur
+	}
+}
+
+// allowedTypes respects the heterogeneity ablation.
+func (p *ArenaPolicy) allowedTypes(ctx *Context, job *Job) []string {
+	if p.DisableHetero {
+		return []string{job.Trace.ReqType}
+	}
+	return ctx.Cluster.GPUTypes()
+}
+
+// allowedCounts respects the elasticity ablation. Without elasticity the
+// request is pinned, but still raised to the smallest feasible size —
+// rigid schedulers size infeasible requests up rather than starving them.
+func (p *ArenaPolicy) allowedCounts(ctx *Context, job *Job) []int {
+	if p.DisableElastic {
+		n := job.Trace.ReqGPUs
+		for ; n <= ctx.MaxPerJob; n *= 2 {
+			for _, typ := range p.allowedTypes(ctx, job) {
+				if p.PerceivedThr(ctx.DB, job.Workload(), typ, n) > 0 {
+					return []int{n}
+				}
+			}
+		}
+		return []int{job.Trace.ReqGPUs}
+	}
+	var out []int
+	for n := 1; n <= ctx.MaxPerJob; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// meetsDeadline checks Eq. 6 for a candidate throughput.
+func (p *ArenaPolicy) meetsDeadline(ctx *Context, job *Job, thr float64) bool {
+	if p.Objective != ObjDeadline || job.Trace.Deadline <= 0 {
+		return true
+	}
+	finish := ctx.Now + job.RemainingSamples/thr
+	return finish <= job.SubmittedAt+job.Trace.Deadline
+}
+
+// hopeless reports that no allocation (even ignoring current occupancy)
+// can meet the job's deadline — such jobs are dropped (§5.6).
+func (p *ArenaPolicy) hopeless(ctx *Context, job *Job) bool {
+	if job.Trace.Deadline <= 0 {
+		return false
+	}
+	for _, typ := range p.allowedTypes(ctx, job) {
+		for _, n := range p.allowedCounts(ctx, job) {
+			thr := p.PerceivedThr(ctx.DB, job.Workload(), typ, n)
+			if thr > 0 && p.meetsDeadline(ctx, job, thr) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tryLaunch finds the best allocation for a queued job under the
+// remaining free capacity, invoking bounded scale-down of in-flight jobs
+// when the cluster is full (GetOptimalScaleDown).
+func (p *ArenaPolicy) tryLaunch(ctx *Context, job *Job, free map[string]int, target map[string]Alloc, depth *int, asg *Assignment) bool {
+	if alloc, ok := p.bestUnderFree(ctx, job, free); ok {
+		asg.Place[job.Trace.ID] = alloc
+		target[job.Trace.ID] = alloc
+		free[alloc.GPUType] -= alloc.N
+		return true
+	}
+	// Cluster full: iteratively scale down the in-flight job that loses
+	// the least throughput per freed GPU, up to the search depth.
+	for *depth < p.D {
+		victim, newAlloc, ok := p.optimalScaleDown(ctx, free, target)
+		if !ok {
+			break
+		}
+		*depth++
+		old := target[victim.Trace.ID]
+		target[victim.Trace.ID] = newAlloc
+		asg.Place[victim.Trace.ID] = newAlloc
+		free[old.GPUType] += old.N
+		free[newAlloc.GPUType] -= newAlloc.N
+		if alloc, ok := p.bestUnderFree(ctx, job, free); ok {
+			asg.Place[job.Trace.ID] = alloc
+			target[job.Trace.ID] = alloc
+			free[alloc.GPUType] -= alloc.N
+			return true
+		}
+	}
+	return false
+}
+
+// bestUnderFree picks the launch allocation maximizing Eq. 5's cluster
+// objective: admitting a queued job adds its full throughput, so the
+// launch size stops at the efficiency knee — growth beyond it is left to
+// the scale-up phase, which weighs it against admitting further jobs.
+// Deadline mode additionally requires Eq. 6.
+func (p *ArenaPolicy) bestUnderFree(ctx *Context, job *Job, free map[string]int) (Alloc, bool) {
+	var best Alloc
+	var bestDensity float64
+	found := false
+	for _, typ := range p.allowedTypes(ctx, job) {
+		var prevThr float64
+		for _, n := range p.allowedCounts(ctx, job) {
+			thr := p.PerceivedThr(ctx.DB, job.Workload(), typ, n)
+			if thr <= 0 {
+				continue
+			}
+			// Knee rule: stop growing on this type once doubling yields
+			// under 30% more throughput (diminishing returns, §2.2).
+			if prevThr > 0 && thr < prevThr*1.3 {
+				break
+			}
+			prevThr = thr
+			if n > free[typ] || !p.meetsDeadline(ctx, job, thr) {
+				continue
+			}
+			density := thr / float64(n)
+			if !found || density > bestDensity {
+				best, bestDensity, found = Alloc{GPUType: typ, N: n}, density, true
+			}
+		}
+	}
+	return best, found
+}
+
+// optimalScaleDown locates the running job whose halving frees GPUs at
+// the lowest throughput cost while staying executable (§3.5: "Arena
+// scales down jobs with excessive resources but limited performance").
+func (p *ArenaPolicy) optimalScaleDown(ctx *Context, free map[string]int, target map[string]Alloc) (*Job, Alloc, bool) {
+	var bestJob *Job
+	var bestAlloc Alloc
+	bestCost := math.MaxFloat64
+	for _, j := range ctx.Running {
+		if p.DisableElastic {
+			continue
+		}
+		cur := target[j.Trace.ID]
+		if cur.N < 2 {
+			continue
+		}
+		half := cur.N / 2
+		thrCur := p.PerceivedThr(ctx.DB, j.Workload(), cur.GPUType, cur.N)
+		thrHalf := p.PerceivedThr(ctx.DB, j.Workload(), cur.GPUType, half)
+		if thrHalf <= 0 { // would become non-executable: forbidden (§3.5)
+			continue
+		}
+		if !p.meetsDeadline(ctx, j, thrHalf) {
+			continue
+		}
+		cost := (thrCur - thrHalf) / float64(cur.N-half)
+		if cost < bestCost {
+			bestJob, bestAlloc, bestCost = j, Alloc{GPUType: cur.GPUType, N: half}, cost
+		}
+	}
+	if bestJob == nil {
+		return nil, Alloc{}, false
+	}
+	return bestJob, bestAlloc, true
+}
+
+// scaleUp gives idle GPUs to the in-flight jobs with the best marginal
+// gain (GetOptimalScaleUp), within the remaining search depth. Under the
+// fairness objective the marginal gain is weighted by remaining work, so
+// the laggard jobs scale first (Eq. 7's min-max finish time).
+func (p *ArenaPolicy) scaleUp(ctx *Context, free map[string]int, target map[string]Alloc, depth *int, asg *Assignment) {
+	if p.DisableElastic {
+		return
+	}
+	jobs := map[string]*Job{}
+	for _, j := range ctx.Running {
+		jobs[j.Trace.ID] = j
+	}
+	for _, j := range ctx.Queued {
+		if _, ok := target[j.Trace.ID]; ok {
+			jobs[j.Trace.ID] = j // launched this round
+		}
+	}
+	ids := make([]string, 0, len(jobs))
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for *depth < p.D {
+		var bestJob *Job
+		var bestAlloc Alloc
+		bestGain := 0.0
+		for _, id := range ids {
+			j := jobs[id]
+			cur := target[j.Trace.ID]
+			if cur.IsZero() || cur.N*2 > ctx.MaxPerJob {
+				continue
+			}
+			// Rescaling a reconfiguring job again would thrash; fresh
+			// launches (still queued) are free to size up.
+			if j.Running() && j.BusyUntil > ctx.Now {
+				continue
+			}
+			double := cur.N * 2
+			if free[cur.GPUType] < cur.N { // need cur.N more GPUs
+				continue
+			}
+			thrCur := p.PerceivedThr(ctx.DB, j.Workload(), cur.GPUType, cur.N)
+			thrNew := p.PerceivedThr(ctx.DB, j.Workload(), cur.GPUType, double)
+			if thrNew <= thrCur*1.02 {
+				continue // no meaningful gain
+			}
+			// Promising jobs only (§3.5): the restart (checkpoint-resume +
+			// search tail) must pay for itself before the job finishes.
+			if j.Running() {
+				restart := CheckpointResume + 0.2*p.DeployOverhead(ctx.DB, j.Workload(), cur.GPUType, double)
+				tCur := j.RemainingSamples / thrCur
+				tNew := j.RemainingSamples/thrNew + restart
+				if tNew >= tCur {
+					continue
+				}
+			}
+			gain := (thrNew - thrCur) / float64(cur.N)
+			if p.Objective == ObjFairness {
+				gain *= j.RemainingSamples / math.Max(thrCur, 1e-9)
+			}
+			if gain > bestGain {
+				bestJob, bestAlloc, bestGain = j, Alloc{GPUType: cur.GPUType, N: double}, gain
+			}
+		}
+		if bestJob == nil {
+			return
+		}
+		*depth++
+		old := target[bestJob.Trace.ID]
+		target[bestJob.Trace.ID] = bestAlloc
+		asg.Place[bestJob.Trace.ID] = bestAlloc
+		free[old.GPUType] -= bestAlloc.N - old.N
+	}
+}

@@ -1,0 +1,193 @@
+package policy
+
+import (
+	"math"
+
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
+	"github.com/sjtu-epcc/arena/internal/sched"
+)
+
+// ElasticFlow (the -LS "loosened deadline" variant the paper compares
+// against) elastically scales each job's GPU *count* within its
+// homogeneous region: jobs stay on their requested type, launch at the
+// minimum feasible size, and idle GPUs flow to the jobs with the best
+// marginal perceived gain. Knowledge is full-space DP profiling.
+type ElasticFlow struct {
+	// ScaleGainThreshold gates rescaling of running jobs (restart costs).
+	ScaleGainThreshold float64
+}
+
+// NewElasticFlow returns the policy.
+func NewElasticFlow() *ElasticFlow { return &ElasticFlow{ScaleGainThreshold: 1.25} }
+
+// Name implements sched.Policy.
+func (e *ElasticFlow) Name() string { return "elasticflow-ls" }
+
+// perceived is the DP view with the everywhere-infeasible fallback.
+func (e *ElasticFlow) perceived(db *perfdb.DB, w model.Workload, typ string, n int) float64 {
+	if t := db.DPThr(w, typ, n); t > 0 {
+		return t
+	}
+	for _, tt := range db.GPUTypes {
+		if db.MinFeasibleDP(w, tt) != 0 {
+			return 0
+		}
+	}
+	return db.APThr(w, typ, n)
+}
+
+// region returns the job's home region: the requested type, or the first
+// type where the job is perceived-feasible at all.
+func (e *ElasticFlow) region(ctx *sched.Context, job *sched.Job) string {
+	typ := job.Trace.ReqType
+	for n := 1; n <= ctx.MaxPerJob; n *= 2 {
+		if e.perceived(ctx.DB, job.Workload(), typ, n) > 0 {
+			return typ
+		}
+	}
+	for _, t := range ctx.Cluster.GPUTypes() {
+		for n := 1; n <= ctx.MaxPerJob; n *= 2 {
+			if e.perceived(ctx.DB, job.Workload(), t, n) > 0 {
+				return t
+			}
+		}
+	}
+	return typ
+}
+
+// Assign admits queued jobs at their minimum feasible size, then grows
+// the best marginal jobs (queued admissions included) with the remaining
+// idle capacity; running jobs also shrink when newly admitted jobs need
+// room (ElasticFlow's admission-driven elasticity).
+func (e *ElasticFlow) Assign(ctx *sched.Context) sched.Assignment {
+	asg := sched.NewAssignment()
+	free := map[string]int{}
+	for _, typ := range ctx.Cluster.GPUTypes() {
+		free[typ] = ctx.Cluster.FreeGPUs(typ)
+	}
+	target := map[string]sched.Alloc{}
+	jobOf := map[string]*sched.Job{}
+	for _, j := range ctx.Running {
+		target[j.Trace.ID] = j.Alloc
+		jobOf[j.Trace.ID] = j
+	}
+
+	// Admission at minimum feasible size, arrival order. Shrink work per
+	// round is bounded so huge backlogs cannot stall the scheduler.
+	shrinkBudget := 64
+	for _, job := range ctx.Queued {
+		typ := e.region(ctx, job)
+		minN := 0
+		for n := 1; n <= ctx.MaxPerJob; n *= 2 {
+			if e.perceived(ctx.DB, job.Workload(), typ, n) > 0 {
+				minN = n
+				break
+			}
+		}
+		if minN == 0 {
+			continue
+		}
+		if free[typ] < minN && shrinkBudget > 0 {
+			// Shrink running jobs in this region to admit the newcomer
+			// (deadline-loosened ElasticFlow favours admission).
+			e.shrinkRegion(ctx, typ, minN, free, target, asg.Place, &shrinkBudget)
+		}
+		if free[typ] >= minN {
+			alloc := sched.Alloc{GPUType: typ, N: minN}
+			asg.Place[job.Trace.ID] = alloc
+			target[job.Trace.ID] = alloc
+			jobOf[job.Trace.ID] = job
+			free[typ] -= minN
+		}
+	}
+
+	// Elastic scale-up: repeatedly double the job with the best marginal
+	// perceived gain per added GPU.
+	for rounds := 0; rounds < 16; rounds++ {
+		bestID := ""
+		bestGain := 0.0
+		for id, cur := range target {
+			job := jobOf[id]
+			if job == nil || cur.N*2 > ctx.MaxPerJob || free[cur.GPUType] < cur.N {
+				continue
+			}
+			if job.Running() && job.BusyUntil > ctx.Now {
+				continue
+			}
+			thrCur := e.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N)
+			thrNew := e.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N*2)
+			if thrCur <= 0 || thrNew <= thrCur*e.ScaleGainThreshold {
+				continue
+			}
+			gain := (thrNew - thrCur) / float64(cur.N)
+			if gain > bestGain {
+				bestID, bestGain = id, gain
+			}
+		}
+		if bestID == "" {
+			break
+		}
+		cur := target[bestID]
+		next := sched.Alloc{GPUType: cur.GPUType, N: cur.N * 2}
+		free[cur.GPUType] -= cur.N
+		target[bestID] = next
+		asg.Place[bestID] = next
+	}
+	return asg
+}
+
+// shrinkRegion halves the running jobs with the least throughput loss per
+// freed GPU until `need` GPUs are free in the region (or nothing more can
+// shrink).
+func (e *ElasticFlow) shrinkRegion(ctx *sched.Context, typ string, need int, free map[string]int, target map[string]sched.Alloc, place map[string]sched.Alloc, budget *int) {
+	for free[typ] < need && *budget > 0 {
+		*budget--
+		var victim *sched.Job
+		bestCost := math.MaxFloat64
+		for _, j := range ctx.Running {
+			cur := target[j.Trace.ID]
+			if cur.GPUType != typ || cur.N < 2 || j.BusyUntil > ctx.Now {
+				continue
+			}
+			thrCur := e.perceived(ctx.DB, j.Workload(), typ, cur.N)
+			thrHalf := e.perceived(ctx.DB, j.Workload(), typ, cur.N/2)
+			if thrHalf <= 0 {
+				continue
+			}
+			cost := (thrCur - thrHalf) / float64(cur.N/2)
+			if cost < bestCost {
+				victim, bestCost = j, cost
+			}
+		}
+		if victim == nil {
+			return
+		}
+		cur := target[victim.Trace.ID]
+		next := sched.Alloc{GPUType: typ, N: cur.N / 2}
+		target[victim.Trace.ID] = next
+		place[victim.Trace.ID] = next
+		free[typ] += cur.N - next.N
+	}
+}
+
+// PerceivedThr implements sched.Policy.
+func (e *ElasticFlow) PerceivedThr(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	return e.perceived(db, w, gpuType, n)
+}
+
+// ActualThr implements sched.Policy.
+func (e *ElasticFlow) ActualThr(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	return db.APThr(w, gpuType, n)
+}
+
+// ProfilePrepend implements sched.Policy: ElasticFlow profiles jobs with
+// DP across allocable resources ahead of time (≈10 minutes, §1).
+func (e *ElasticFlow) ProfilePrepend(db *perfdb.DB, w model.Workload) float64 {
+	return db.DPProfileWall(w)
+}
+
+// DeployOverhead implements sched.Policy.
+func (e *ElasticFlow) DeployOverhead(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	return db.SearchTimeFull(w, gpuType, n)
+}

@@ -1,0 +1,173 @@
+package policy
+
+import (
+	"sort"
+
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
+	"github.com/sjtu-epcc/arena/internal/sched"
+)
+
+// Gavel performs heterogeneity-aware scheduling: it keeps each job's GPU
+// count fixed at the user request but dynamically chooses the GPU *type*
+// to maximize total throughput (a greedy stand-in for its ILP round
+// solver, §5.1). Its knowledge is full-space DP profiling.
+type Gavel struct {
+	// SwitchGainThreshold gates type migration of running jobs: moving a
+	// job pays checkpoint-resume + AP re-search, so only clear wins move.
+	SwitchGainThreshold float64
+}
+
+// NewGavel returns the policy with the default migration threshold.
+func NewGavel() *Gavel { return &Gavel{SwitchGainThreshold: 1.3} }
+
+// Name implements sched.Policy.
+func (g *Gavel) Name() string { return "gavel" }
+
+// perceived returns Gavel's DP view with the manual-fallback rule: when a
+// workload fits DP nowhere, the user supplies a hand-tuned parallel plan
+// and Gavel schedules it by its measured throughput.
+func (g *Gavel) perceived(db *perfdb.DB, w model.Workload, typ string, n int) float64 {
+	if t := db.DPThr(w, typ, n); t > 0 {
+		return t
+	}
+	for _, tt := range db.GPUTypes {
+		if db.MinFeasibleDP(w, tt) != 0 {
+			return 0 // DP fits somewhere: this (type, n) just looks OOM
+		}
+	}
+	return db.APThr(w, typ, n)
+}
+
+// Assign greedily places queued jobs on the type with the best perceived
+// throughput, then migrates running jobs whose perceived gain on another
+// type clears the threshold.
+func (g *Gavel) Assign(ctx *sched.Context) sched.Assignment {
+	asg := sched.NewAssignment()
+	free := map[string]int{}
+	for _, typ := range ctx.Cluster.GPUTypes() {
+		free[typ] = ctx.Cluster.FreeGPUs(typ)
+	}
+
+	// Queued jobs: best-type placement, highest density first (Gavel's
+	// round solver maximizes Σ throughput).
+	type cand struct {
+		job *sched.Job
+		thr float64
+		typ string
+		n   int
+	}
+	var cands []cand
+	for _, job := range ctx.Queued {
+		n := g.demand(ctx.DB, job, ctx.MaxPerJob)
+		if n == 0 {
+			continue
+		}
+		var best cand
+		for _, typ := range ctx.Cluster.GPUTypes() {
+			thr := g.perceived(ctx.DB, job.Workload(), typ, n)
+			if thr > best.thr {
+				best = cand{job: job, thr: thr, typ: typ, n: n}
+			}
+		}
+		if best.thr > 0 {
+			cands = append(cands, best)
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		return cands[a].thr/float64(cands[a].n) > cands[b].thr/float64(cands[b].n)
+	})
+	for _, c := range cands {
+		// Preferred type first, then any type with capacity.
+		placed := false
+		if free[c.typ] >= c.n {
+			asg.Place[c.job.Trace.ID] = sched.Alloc{GPUType: c.typ, N: c.n}
+			free[c.typ] -= c.n
+			placed = true
+		} else {
+			for _, typ := range ctx.Cluster.GPUTypes() {
+				thr := g.perceived(ctx.DB, c.job.Workload(), typ, c.n)
+				if thr > 0 && free[typ] >= c.n {
+					asg.Place[c.job.Trace.ID] = sched.Alloc{GPUType: typ, N: c.n}
+					free[typ] -= c.n
+					placed = true
+					break
+				}
+			}
+		}
+		_ = placed
+	}
+
+	// Running jobs: migrate types on clear perceived wins.
+	for _, job := range ctx.Running {
+		if job.BusyUntil > ctx.Now {
+			continue
+		}
+		cur := job.Alloc
+		curThr := g.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N)
+		for _, typ := range ctx.Cluster.GPUTypes() {
+			if typ == cur.GPUType || free[typ] < cur.N {
+				continue
+			}
+			newThr := g.perceived(ctx.DB, job.Workload(), typ, cur.N)
+			if curThr > 0 && newThr > curThr*g.SwitchGainThreshold {
+				asg.Place[job.Trace.ID] = sched.Alloc{GPUType: typ, N: cur.N}
+				free[typ] -= cur.N
+				free[cur.GPUType] += cur.N
+				break
+			}
+		}
+	}
+	return asg
+}
+
+// demand is the job's fixed GPU count: the user request, raised to the
+// DP-feasibility floor its profiles report (Case#2's overestimation).
+// When the DP floor exceeds the per-job cap, the job falls back to a
+// manually partitioned plan at the AP floor.
+func (g *Gavel) demand(db *perfdb.DB, job *sched.Job, maxPerJob int) int {
+	dpMin, apMin := 0, 0
+	for _, typ := range db.GPUTypes {
+		if m := db.MinFeasibleDP(job.Workload(), typ); m != 0 && (dpMin == 0 || m < dpMin) {
+			dpMin = m
+		}
+		if m := db.MinFeasibleAP(job.Workload(), typ); m != 0 && (apMin == 0 || m < apMin) {
+			apMin = m
+		}
+	}
+	minN := dpMin
+	if minN == 0 || minN > maxPerJob {
+		minN = apMin // manual plan fallback
+	}
+	if minN == 0 || minN > maxPerJob {
+		return 0
+	}
+	n := job.Trace.ReqGPUs
+	if minN > n {
+		n = minN
+	}
+	if n > maxPerJob {
+		n = maxPerJob
+	}
+	return n
+}
+
+// PerceivedThr implements sched.Policy.
+func (g *Gavel) PerceivedThr(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	return g.perceived(db, w, gpuType, n)
+}
+
+// ActualThr implements sched.Policy: execution uses AP (§5.1).
+func (g *Gavel) ActualThr(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	return db.APThr(w, gpuType, n)
+}
+
+// ProfilePrepend implements sched.Policy: full-space DP profiling.
+func (g *Gavel) ProfilePrepend(db *perfdb.DB, w model.Workload) float64 {
+	return db.DPProfileWall(w)
+}
+
+// DeployOverhead implements sched.Policy: full AP search per deployment.
+func (g *Gavel) DeployOverhead(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	return db.SearchTimeFull(w, gpuType, n)
+}

@@ -1,0 +1,150 @@
+package policy
+
+import (
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
+	"github.com/sjtu-epcc/arena/internal/sched"
+)
+
+// Sia jointly optimizes GPU count *and* type (a greedy contention-aware
+// stand-in for its ILP goodput solver, §5.1). Its knowledge is the
+// bootstrapped linear estimate of §2.3 — 1-GPU profiles scaled by the GPU
+// count, with the precision knob η — refined online by the throughputs of
+// configurations it has actually run (Fig. 4(b)'s refinement loop).
+//
+// The linear estimate perceives *no diminishing returns*: the marginal
+// gain of doubling any job stays constant, so whenever idle capacity
+// exists Sia inflates allocations whose real marginal value has collapsed
+// — the §2.2 Case#2 overestimation. Under bursts this throttles the
+// cluster (Fig. 11's annotation ❶).
+type Sia struct {
+	// Eta is the §2.3 precision knob: allocations up to 2^(η−1) GPUs use
+	// precise profiles, the rest extrapolate linearly. η=1 is stock Sia.
+	Eta int
+	// ScaleGainThreshold gates rescaling of running jobs.
+	ScaleGainThreshold float64
+	// DisableRefinement turns off the online observation loop so the η
+	// knob alone controls estimate precision (§2.3's controlled study).
+	DisableRefinement bool
+}
+
+// NewSia returns stock Sia (η = 1).
+func NewSia() *Sia { return &Sia{Eta: 1, ScaleGainThreshold: 1.4} }
+
+// Name implements sched.Policy.
+func (s *Sia) Name() string { return "sia" }
+
+// perceived returns the online-refined estimate when available, else the
+// bootstrapped linear one.
+func (s *Sia) perceived(db *perfdb.DB, w model.Workload, typ string, n int) float64 {
+	if !s.DisableRefinement {
+		if obs := db.ObservedThr(w, typ, n); obs > 0 {
+			return obs
+		}
+	}
+	return db.SiaEst(w, typ, n, s.Eta)
+}
+
+// Assign admits queued jobs at their smallest perceived-feasible size on
+// the best type, then pours idle capacity into the jobs with the highest
+// perceived marginal goodput — which the linear estimates systematically
+// overstate for large allocations.
+func (s *Sia) Assign(ctx *sched.Context) sched.Assignment {
+	asg := sched.NewAssignment()
+	free := map[string]int{}
+	for _, typ := range ctx.Cluster.GPUTypes() {
+		free[typ] = ctx.Cluster.FreeGPUs(typ)
+	}
+	target := map[string]sched.Alloc{}
+	jobOf := map[string]*sched.Job{}
+	for _, j := range ctx.Running {
+		target[j.Trace.ID] = j.Alloc
+		jobOf[j.Trace.ID] = j
+	}
+
+	// Admission: smallest feasible allocation on the perceived-best type
+	// (goodput of admitting a job always beats growing one).
+	for _, job := range ctx.Queued {
+		var best sched.Alloc
+		var bestThr float64
+		for _, typ := range ctx.Cluster.GPUTypes() {
+			for n := 1; n <= ctx.MaxPerJob; n *= 2 {
+				thr := s.perceived(ctx.DB, job.Workload(), typ, n)
+				if thr <= 0 || n > free[typ] {
+					continue
+				}
+				// Smallest n per type; across types pick best density.
+				if thr/float64(n) > bestThr {
+					best, bestThr = sched.Alloc{GPUType: typ, N: n}, thr/float64(n)
+				}
+				break
+			}
+		}
+		if !best.IsZero() {
+			asg.Place[job.Trace.ID] = best
+			target[job.Trace.ID] = best
+			jobOf[job.Trace.ID] = job
+			free[best.GPUType] -= best.N
+		}
+	}
+
+	// Growth: repeatedly double the job with the best perceived marginal
+	// gain per added GPU. With linear estimates the marginal never decays,
+	// so growth continues while capacity lasts.
+	for rounds := 0; rounds < 32; rounds++ {
+		bestID := ""
+		bestGain := 0.0
+		for id, cur := range target {
+			job := jobOf[id]
+			if job == nil || cur.N*2 > ctx.MaxPerJob || free[cur.GPUType] < cur.N {
+				continue
+			}
+			if job.Running() && job.BusyUntil > ctx.Now {
+				continue
+			}
+			thrCur := s.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N)
+			thrNew := s.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N*2)
+			if thrCur <= 0 || thrNew <= thrCur*s.ScaleGainThreshold {
+				continue
+			}
+			gain := (thrNew - thrCur) / float64(cur.N)
+			if gain > bestGain {
+				bestID, bestGain = id, gain
+			}
+		}
+		if bestID == "" {
+			break
+		}
+		cur := target[bestID]
+		next := sched.Alloc{GPUType: cur.GPUType, N: cur.N * 2}
+		free[cur.GPUType] -= cur.N
+		target[bestID] = next
+		asg.Place[bestID] = next
+	}
+	return asg
+}
+
+// PerceivedThr implements sched.Policy.
+func (s *Sia) PerceivedThr(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	return s.perceived(db, w, gpuType, n)
+}
+
+// ActualThr implements sched.Policy: AP execution; the simulator records
+// the observation back into the database, closing Sia's refinement loop.
+func (s *Sia) ActualThr(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	thr := db.APThr(w, gpuType, n)
+	if thr > 0 && !s.DisableRefinement {
+		db.Observe(w, gpuType, n, thr)
+	}
+	return thr
+}
+
+// ProfilePrepend implements sched.Policy: the 1-GPU bootstrap profile.
+func (s *Sia) ProfilePrepend(db *perfdb.DB, w model.Workload) float64 {
+	return db.SiaProfileWall(w)
+}
+
+// DeployOverhead implements sched.Policy: full AP search per deployment.
+func (s *Sia) DeployOverhead(db *perfdb.DB, w model.Workload, gpuType string, n int) float64 {
+	return db.SearchTimeFull(w, gpuType, n)
+}

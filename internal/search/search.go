@@ -1,0 +1,276 @@
+// Package search implements adaptive-parallelism plan search over the
+// execution engine: the full-space search (the Alpa baseline the paper
+// compares against in §5.4) and Arena's space-pruned search (§3.6).
+//
+// Both searches follow Alpa's structure: enumerate stage candidates
+// (operator range × GPU count × intra-stage shape), "profile" each on the
+// engine — the expensive step on real hardware — then compose stages into
+// pipelines with dynamic programming under a bottleneck bound, and
+// finally measure the best few compositions end to end. Search cost is
+// accounted in profiled stage candidates and converted to modeled
+// wall-clock seconds, calibrated so a 16-GPU full search costs on the
+// order of the paper's "20 minutes per allocable resource" (§2.3).
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/parallel"
+)
+
+// Per-candidate profiling cost model: each stage candidate is compiled and
+// measured on hardware; a search session additionally pays a fixed
+// compilation/tracing base cost.
+const (
+	stageProfileSeconds = 0.33
+	searchBaseSeconds   = 120.0
+	topKEndToEnd        = 12 // compositions measured end-to-end per degree
+)
+
+// Outcome reports a search's best plan and its cost accounting.
+type Outcome struct {
+	Plan   *parallel.Plan
+	Result exec.Result
+
+	StageEvals int     // profiled stage candidates (the dominant cost)
+	PlanEvals  int     // end-to-end plan measurements
+	SearchTime float64 // modeled wall-clock seconds for the search
+}
+
+// Feasible reports whether the search found any memory-feasible plan.
+func (o Outcome) Feasible() bool { return o.Plan != nil && o.Result.Fits }
+
+// stageCand is one profiled stage candidate.
+type stageCand struct {
+	start, end int
+	gpus       int
+	dp, tp     int
+	time       float64 // per-microbatch latency (engine measurement)
+	feasible   bool
+}
+
+// searcher carries shared state across one search session.
+type searcher struct {
+	eng         *exec.Engine
+	graph       *model.Graph
+	spec        hw.GPU
+	globalBatch int
+	gpusPerNode int
+
+	stageEvals int
+}
+
+// FullSearch explores the complete adaptive-parallelism space for n GPUs
+// of the given type: every pipeline degree, every contiguous partition,
+// every power-of-two GPU assignment and intra-stage shape — the Alpa
+// workflow. It returns the best measured plan.
+func FullSearch(eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch, n int) (Outcome, error) {
+	return FullSearchWithNodes(eng, g, spec, globalBatch, n, spec.GPUsPerNode)
+}
+
+// FullSearchWithNodes is FullSearch with explicit GPUs-per-node placement.
+func FullSearchWithNodes(eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch, n, gpusPerNode int) (Outcome, error) {
+	if n < 1 {
+		return Outcome{}, fmt.Errorf("search: n=%d", n)
+	}
+	s := &searcher{eng: eng, graph: g, spec: spec, globalBatch: globalBatch, gpusPerNode: gpusPerNode}
+	var best Outcome
+	for _, deg := range core.PipelineDegrees(n, len(g.Ops)) {
+		out := s.searchDegree(deg, n, nil)
+		mergeBest(&best, out)
+	}
+	best.StageEvals = s.stageEvals
+	best.SearchTime = searchBaseSeconds + float64(s.stageEvals)*stageProfileSeconds
+	return best, nil
+}
+
+// mergeBest folds a per-degree outcome into the running best, keeping
+// plan-eval counts cumulative.
+func mergeBest(best *Outcome, out Outcome) {
+	best.PlanEvals += out.PlanEvals
+	if out.Plan == nil || !out.Result.Fits {
+		return
+	}
+	if best.Plan == nil || !best.Result.Fits || out.Result.Throughput > best.Result.Throughput {
+		best.Plan, best.Result = out.Plan, out.Result
+	}
+}
+
+// searchDegree finds the best plan with exactly `deg` stages over n GPUs.
+// When restrict is non-nil it is consulted to prune stage candidates
+// (Arena's runtime pruning rules).
+func (s *searcher) searchDegree(deg, n int, restrict *Restriction) Outcome {
+	numMicro := parallel.DefaultMicrobatches(deg)
+	cands := s.profileStageCandidates(deg, n, numMicro, restrict)
+	if len(cands) == 0 {
+		return Outcome{}
+	}
+
+	// Bottleneck-bounded composition: enumerate t_max candidates from the
+	// profiled latency distribution, DP-compose minimal-total pipelines
+	// under each bound, measure the distinct results end-to-end.
+	bounds := latencyQuantiles(cands, 24)
+	type planKey string
+	seen := map[planKey]bool{}
+	var out Outcome
+	for _, tmax := range bounds {
+		stages := s.compose(cands, deg, n, tmax)
+		if stages == nil {
+			continue
+		}
+		plan := &parallel.Plan{Stages: stages, NumMicrobatches: numMicro}
+		key := planKey(plan.String() + fmt.Sprint(stages))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if out.PlanEvals >= topKEndToEnd {
+			break
+		}
+		res, err := s.eng.EvaluateWithNodes(s.graph, plan, s.spec, s.globalBatch, s.gpusPerNode)
+		out.PlanEvals++
+		if err != nil || !res.Fits {
+			continue
+		}
+		if out.Plan == nil || res.Throughput > out.Result.Throughput {
+			out.Plan, out.Result = plan, res
+		}
+	}
+	return out
+}
+
+// profileStageCandidates profiles every (range, gpus, dp, tp) stage
+// candidate valid for a deg-stage pipeline of n GPUs, applying the
+// restriction's range and shape pruning when present.
+func (s *searcher) profileStageCandidates(deg, n, numMicro int, restrict *Restriction) []stageCand {
+	numOps := len(s.graph.Ops)
+	microSamples := float64(s.globalBatch) / float64(numMicro)
+	var cands []stageCand
+	for start := 0; start < numOps; start++ {
+		for end := start + 1; end <= numOps; end++ {
+			// A stage of a deg-pipeline must leave ≥ start ops before and
+			// ≥ (deg-1) ops behind overall; cheap necessary conditions:
+			if deg > 1 && end-start > numOps-(deg-1) {
+				continue
+			}
+			if restrict != nil && !restrict.RangeAllowed(s.graph, start, end) {
+				continue
+			}
+			for gpus := 1; gpus <= n-(deg-1); gpus *= 2 {
+				for tp := 1; tp <= gpus; tp *= 2 {
+					dp := gpus / tp
+					if dp*tp != gpus {
+						continue
+					}
+					if restrict != nil && !restrict.ShapeAllowed(start, end, gpus, dp, tp) {
+						continue
+					}
+					st := parallel.StagePlan{OpStart: start, OpEnd: end, DP: dp, TP: tp}
+					s.stageEvals++ // profiling happens regardless of OOM outcome
+					feasible := exec.StageFitsMemory(s.graph, st, s.spec, s.globalBatch, numMicro, deg)
+					if !feasible {
+						continue
+					}
+					m := s.eng.MeasureStage(s.graph, st, s.spec, microSamples, s.gpusPerNode)
+					cands = append(cands, stageCand{
+						start: start, end: end, gpus: gpus, dp: dp, tp: tp,
+						time: m.Time(), feasible: true,
+					})
+				}
+			}
+		}
+	}
+	return cands
+}
+
+// latencyQuantiles returns up to k representative bottleneck bounds drawn
+// from the candidate latency distribution.
+func latencyQuantiles(cands []stageCand, k int) []float64 {
+	times := make([]float64, 0, len(cands))
+	for _, c := range cands {
+		times = append(times, c.time)
+	}
+	sort.Float64s(times)
+	if len(times) <= k {
+		return times
+	}
+	out := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		idx := (len(times) - 1) * i / (k - 1)
+		out = append(out, times[idx])
+	}
+	return out
+}
+
+// compose runs the inter-operator DP: split ops into exactly deg stages
+// over exactly n GPUs minimizing total per-microbatch latency subject to
+// every stage ≤ tmax. Returns nil when infeasible. Table layout:
+// tables[k][start][g] = min total latency covering ops[start:] with
+// exactly k stages using exactly g GPUs.
+func (s *searcher) compose(cands []stageCand, deg, n int, tmax float64) []parallel.StagePlan {
+	numOps := len(s.graph.Ops)
+	const inf = math.MaxFloat64
+	type cell struct {
+		cost float64
+		cand *stageCand
+	}
+	// Index candidates by start op, pre-filtered by the bottleneck bound.
+	byStart := make([][]*stageCand, numOps)
+	for i := range cands {
+		c := &cands[i]
+		if c.time <= tmax {
+			byStart[c.start] = append(byStart[c.start], c)
+		}
+	}
+	tables := make([][][]cell, deg+1)
+	for k := 0; k <= deg; k++ {
+		tables[k] = make([][]cell, numOps+1)
+		for i := range tables[k] {
+			tables[k][i] = make([]cell, n+1)
+			for j := range tables[k][i] {
+				tables[k][i][j] = cell{cost: inf}
+			}
+		}
+	}
+	tables[0][numOps][0] = cell{cost: 0}
+	for k := 1; k <= deg; k++ {
+		for start := numOps - 1; start >= 0; start-- {
+			for _, c := range byStart[start] {
+				for g := c.gpus; g <= n; g++ {
+					rest := tables[k-1][c.end][g-c.gpus]
+					if rest.cost == inf {
+						continue
+					}
+					total := c.time + rest.cost
+					if total < tables[k][start][g].cost {
+						tables[k][start][g] = cell{cost: total, cand: c}
+					}
+				}
+			}
+		}
+	}
+	if tables[deg][0][n].cost == inf {
+		return nil
+	}
+	// Reconstruct the stage sequence front to back.
+	stages := make([]parallel.StagePlan, 0, deg)
+	start, g := 0, n
+	for k := deg; k >= 1; k-- {
+		c := tables[k][start][g].cand
+		if c == nil {
+			return nil
+		}
+		stages = append(stages, parallel.StagePlan{OpStart: c.start, OpEnd: c.end, DP: c.dp, TP: c.tp})
+		start, g = c.end, g-c.gpus
+	}
+	if start != numOps || g != 0 {
+		return nil
+	}
+	return stages
+}

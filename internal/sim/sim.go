@@ -1,0 +1,450 @@
+// Package sim is the discrete-event cluster simulator: the reproduction
+// of the paper's simulator.py (§4: "Arena provides a simulator to conduct
+// large-scale scheduling experiments, ensuring high fidelity by sharing
+// scheduling codes and logics with the real-testbed scheduler"). The same
+// Policy implementations drive both this simulator and any finer-grained
+// configuration — exactly the code-sharing fidelity argument of §5.2.
+//
+// Time advances in fixed scheduling rounds (5 minutes in the paper).
+// Between rounds, running jobs progress continuously; completions free
+// resources at their exact times. Reconfiguration overheads (AP search,
+// checkpoint-resume) suppress a job's throughput until they elapse.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/sjtu-epcc/arena/internal/cluster"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/metrics"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
+	"github.com/sjtu-epcc/arena/internal/rng"
+	"github.com/sjtu-epcc/arena/internal/sched"
+	"github.com/sjtu-epcc/arena/internal/trace"
+)
+
+// Config drives one simulation.
+type Config struct {
+	Spec   hw.ClusterSpec
+	Policy sched.Policy
+	Jobs   []trace.Job
+	DB     *perfdb.DB
+
+	// RoundSeconds is the scheduling interval (paper: 5 minutes).
+	RoundSeconds float64
+	// MaxRounds bounds the simulation; 0 derives a horizon from the trace.
+	MaxRounds int
+	// MaxPerJob caps per-job allocations; 0 uses the database's MaxN.
+	MaxPerJob int
+
+	// ThroughputNoise adds deterministic per-(job, segment) variance to
+	// achieved throughput, emulating real-testbed measurement conditions
+	// for the §5.2 fidelity study. 0 = noiseless simulation.
+	ThroughputNoise float64
+	Seed            uint64
+
+	// IncludeUnfinished censors unfinished jobs' JCT at the horizon and
+	// includes them (Fig. 12's "unfinished jobs included").
+	IncludeUnfinished bool
+}
+
+// Result carries the aggregated metrics plus final job states.
+type Result struct {
+	metrics.Summary
+	Jobs []*sched.Job
+	// Horizon is the simulated end time.
+	Horizon float64
+}
+
+// Run executes the simulation to completion or the round bound.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Policy == nil || cfg.DB == nil {
+		return nil, fmt.Errorf("sim: need a policy and a perfdb")
+	}
+	if cfg.RoundSeconds <= 0 {
+		cfg.RoundSeconds = 300
+	}
+	if cfg.MaxPerJob <= 0 {
+		cfg.MaxPerJob = cfg.DB.MaxN
+	}
+	cl, err := cluster.New(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	// Online-profiled observations belong to a single run (Fig. 4(b)'s
+	// refinement loop); clear any left by a previous simulation.
+	cfg.DB.ResetObservations()
+
+	s := &state{
+		cfg:     cfg,
+		cluster: cl,
+		noise:   rng.Derive(cfg.Seed, rng.HashString("sim-noise")),
+	}
+	for _, tj := range cfg.Jobs {
+		w := tj.Workload
+		j := &sched.Job{
+			Trace:            tj,
+			State:            sched.StateQueued,
+			SubmittedAt:      tj.SubmitTime + cfg.Policy.ProfilePrepend(cfg.DB, w),
+			LaunchedAt:       -1,
+			RemainingSamples: tj.TotalSamples(),
+			CurPriority:      tj.Priority,
+		}
+		s.pending = append(s.pending, j)
+	}
+	sort.SliceStable(s.pending, func(a, b int) bool {
+		return s.pending[a].SubmittedAt < s.pending[b].SubmittedAt
+	})
+
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		// Horizon: trace span plus generous drain time.
+		var last float64
+		for _, j := range cfg.Jobs {
+			if j.SubmitTime > last {
+				last = j.SubmitTime
+			}
+		}
+		maxRounds = int((last*3+48*3600)/cfg.RoundSeconds) + 1
+	}
+
+	now := 0.0
+	for round := 0; round < maxRounds; round++ {
+		now = float64(round) * cfg.RoundSeconds
+		s.advanceTo(now)
+		s.admit(now)
+
+		ctx := &sched.Context{
+			Now:       now,
+			Queued:    s.queued,
+			Running:   s.running,
+			Cluster:   s.cluster,
+			DB:        cfg.DB,
+			MaxPerJob: cfg.MaxPerJob,
+		}
+		asg := cfg.Policy.Assign(ctx)
+		s.apply(now, asg)
+
+		s.sampleThroughput(now)
+		if s.done() && round > 1 {
+			break
+		}
+	}
+	end := now + cfg.RoundSeconds
+	s.advanceTo(end)
+	return s.finish(end), nil
+}
+
+// state is the simulator's mutable world.
+type state struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	noise   *rng.SplitMix64
+
+	pending []*sched.Job // submitted in the future
+	queued  []*sched.Job
+	running []*sched.Job
+	done_   []*sched.Job
+
+	thrSeries []float64
+	lastTime  float64
+}
+
+// advanceTo progresses running jobs from lastTime to t, finishing jobs at
+// their exact completion times.
+func (s *state) advanceTo(t float64) {
+	for s.lastTime < t {
+		// Earliest completion in (lastTime, t]?
+		var next *sched.Job
+		nextAt := t
+		for _, j := range s.running {
+			thr := s.effectiveThr(j)
+			if thr <= 0 {
+				continue
+			}
+			start := math.Max(s.lastTime, j.BusyUntil)
+			if start >= t {
+				continue
+			}
+			finish := start + j.RemainingSamples/thr
+			if finish <= nextAt {
+				next, nextAt = j, finish
+			}
+		}
+		s.progressAll(s.lastTime, nextAt)
+		s.lastTime = nextAt
+		if next == nil {
+			return
+		}
+		s.complete(next, nextAt)
+	}
+}
+
+// progressAll advances every running job's remaining work over [a, b).
+func (s *state) progressAll(a, b float64) {
+	for _, j := range s.running {
+		thr := s.effectiveThr(j)
+		if thr <= 0 {
+			continue
+		}
+		start := math.Max(a, j.BusyUntil)
+		if start >= b {
+			continue
+		}
+		j.RemainingSamples -= (b - start) * thr
+		if j.RemainingSamples < 0 {
+			j.RemainingSamples = 0
+		}
+	}
+}
+
+// effectiveThr is the job's achieved throughput including the fidelity
+// noise knob.
+func (s *state) effectiveThr(j *sched.Job) float64 {
+	thr := j.ActualThr
+	if thr <= 0 {
+		return 0
+	}
+	if s.cfg.ThroughputNoise > 0 {
+		r := rng.Derive(s.cfg.Seed, rng.HashString(j.Trace.ID), uint64(j.Resched))
+		thr *= 1 + s.cfg.ThroughputNoise*(2*r.Float64()-1)
+	}
+	return thr
+}
+
+// complete finishes a job and frees its resources.
+func (s *state) complete(j *sched.Job, at float64) {
+	j.State = sched.StateFinished
+	j.FinishedAt = at
+	s.cluster.Free(j.Trace.ID)
+	s.running = removeJob(s.running, j)
+	s.done_ = append(s.done_, j)
+}
+
+// admit moves submitted jobs into the queue.
+func (s *state) admit(now float64) {
+	i := 0
+	for ; i < len(s.pending); i++ {
+		if s.pending[i].SubmittedAt > now {
+			break
+		}
+		s.queued = append(s.queued, s.pending[i])
+	}
+	s.pending = s.pending[i:]
+}
+
+// apply executes the policy's assignment: drops, shrinks, launches, and
+// growths, charging deployment overheads.
+func (s *state) apply(now float64, asg sched.Assignment) {
+	for _, id := range asg.Drop {
+		if j := s.findQueued(id); j != nil {
+			j.State = sched.StateDropped
+			j.FinishedAt = now
+			s.queued = removeJob(s.queued, j)
+			s.done_ = append(s.done_, j)
+		}
+	}
+	if len(asg.Place) == 0 {
+		return
+	}
+	// Deterministic application order: shrinks and moves of running jobs
+	// first (they free capacity), then queued launches, then growths.
+	ids := make([]string, 0, len(asg.Place))
+	for id := range asg.Place {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rank := func(id string) int {
+		j := s.findAny(id)
+		if j == nil {
+			return 9
+		}
+		target := asg.Place[id]
+		switch {
+		case j.State == sched.StateQueued:
+			return 2
+		case target.N < j.Alloc.N:
+			return 0
+		case target.GPUType != j.Alloc.GPUType:
+			return 1
+		default:
+			return 3
+		}
+	}
+	sort.SliceStable(ids, func(a, b int) bool { return rank(ids[a]) < rank(ids[b]) })
+
+	for _, id := range ids {
+		target := asg.Place[id]
+		j := s.findAny(id)
+		if j == nil || target.IsZero() {
+			continue
+		}
+		switch j.State {
+		case sched.StateQueued:
+			s.launch(now, j, target)
+		case sched.StateRunning:
+			if j.Alloc == target {
+				continue
+			}
+			s.rescale(now, j, target)
+		}
+	}
+}
+
+// launch places a queued job.
+func (s *state) launch(now float64, j *sched.Job, target sched.Alloc) {
+	w := j.Workload()
+	actual := s.cfg.Policy.ActualThr(s.cfg.DB, w, target.GPUType, target.N)
+	if actual <= 0 {
+		return // perceived-feasible but truly infeasible: stays queued
+	}
+	if err := s.cluster.Alloc(j.Trace.ID, target.GPUType, target.N); err != nil {
+		return // fragmentation: retry next round
+	}
+	j.State = sched.StateRunning
+	j.Alloc = target
+	j.ActualThr = actual
+	j.BusyUntil = now + s.cfg.Policy.DeployOverhead(s.cfg.DB, w, target.GPUType, target.N)
+	if j.LaunchedAt < 0 {
+		j.LaunchedAt = now
+	}
+	s.queued = removeJob(s.queued, j)
+	s.running = append(s.running, j)
+}
+
+// rescale moves a running job to a new allocation, paying checkpoint-
+// resume plus the parallelism search.
+func (s *state) rescale(now float64, j *sched.Job, target sched.Alloc) {
+	w := j.Workload()
+	actual := s.cfg.Policy.ActualThr(s.cfg.DB, w, target.GPUType, target.N)
+	if actual <= 0 {
+		return
+	}
+	old := j.Alloc
+	s.cluster.Free(j.Trace.ID)
+	if err := s.cluster.Alloc(j.Trace.ID, target.GPUType, target.N); err != nil {
+		// Fragmentation defeated the move; restore the old allocation.
+		if err := s.cluster.Alloc(j.Trace.ID, old.GPUType, old.N); err != nil {
+			// Old slots vanished too (should not happen: we just freed
+			// them); requeue defensively.
+			j.State = sched.StateQueued
+			j.Alloc = sched.Alloc{}
+			j.ActualThr = 0
+			s.running = removeJob(s.running, j)
+			s.queued = append(s.queued, j)
+		}
+		return
+	}
+	j.Alloc = target
+	j.ActualThr = actual
+	j.Resched++
+	// §5.8: the rescheduling AP search is non-blocking (the runtime
+	// searches while the job drains); only checkpoint-resume stops
+	// training, plus a small blocking tail of the search.
+	j.BusyUntil = now + sched.CheckpointResume +
+		0.2*s.cfg.Policy.DeployOverhead(s.cfg.DB, w, target.GPUType, target.N)
+}
+
+// sampleThroughput records the instantaneous cluster throughput.
+func (s *state) sampleThroughput(now float64) {
+	var total float64
+	for _, j := range s.running {
+		if j.BusyUntil <= now {
+			total += j.ActualThr
+		}
+	}
+	s.thrSeries = append(s.thrSeries, total)
+}
+
+func (s *state) done() bool {
+	return len(s.pending) == 0 && len(s.queued) == 0 && len(s.running) == 0
+}
+
+// finish assembles the metrics summary.
+func (s *state) finish(end float64) *Result {
+	sum := metrics.Summary{
+		Policy:           s.cfg.Policy.Name(),
+		ThroughputSeries: s.thrSeries,
+		Total:            len(s.done_) + len(s.running) + len(s.queued) + len(s.pending),
+	}
+	consider := append([]*sched.Job(nil), s.done_...)
+	if s.cfg.IncludeUnfinished {
+		consider = append(consider, s.running...)
+		consider = append(consider, s.queued...)
+		// Jobs still pending (e.g. stuck in their profiling prepend) are
+		// censored too, as long as their trace submission precedes the
+		// horizon.
+		for _, j := range s.pending {
+			if j.Trace.SubmitTime <= end {
+				consider = append(consider, j)
+			}
+		}
+	}
+	var resched, launched float64
+	for _, j := range consider {
+		switch j.State {
+		case sched.StateFinished:
+			sum.Finished++
+			sum.JCTs = append(sum.JCTs, j.FinishedAt-j.Trace.SubmitTime)
+			if j.Trace.Deadline > 0 {
+				sum.DeadlineTotal++
+				if j.FinishedAt <= j.Trace.SubmitTime+j.Trace.Deadline {
+					sum.DeadlineSatisfied++
+				}
+			}
+		case sched.StateDropped:
+			sum.Dropped++
+			if j.Trace.Deadline > 0 {
+				sum.DeadlineTotal++
+			}
+		default: // censored
+			sum.JCTs = append(sum.JCTs, end-j.Trace.SubmitTime)
+		}
+		if j.LaunchedAt >= 0 {
+			sum.QueueTimes = append(sum.QueueTimes, j.LaunchedAt-j.Trace.SubmitTime)
+			launched++
+			resched += float64(j.Resched)
+		}
+	}
+	if launched > 0 {
+		sum.AvgReschedules = resched / launched
+	}
+	sum.Finalize()
+	jobs := append([]*sched.Job(nil), s.done_...)
+	jobs = append(jobs, s.running...)
+	jobs = append(jobs, s.queued...)
+	jobs = append(jobs, s.pending...)
+	return &Result{Summary: sum, Jobs: jobs, Horizon: end}
+}
+
+func (s *state) findQueued(id string) *sched.Job {
+	for _, j := range s.queued {
+		if j.Trace.ID == id {
+			return j
+		}
+	}
+	return nil
+}
+
+func (s *state) findAny(id string) *sched.Job {
+	if j := s.findQueued(id); j != nil {
+		return j
+	}
+	for _, j := range s.running {
+		if j.Trace.ID == id {
+			return j
+		}
+	}
+	return nil
+}
+
+func removeJob(list []*sched.Job, j *sched.Job) []*sched.Job {
+	for i, x := range list {
+		if x == j {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

@@ -18,6 +18,15 @@
 //   - The three Arena components: the execution-free parallelism planner,
 //     the single-device disaggregated profiler, and the space-pruned AP
 //     search (planner, profiler, search).
+//   - The stage-measurement cache (evalcache): a concurrency-safe memo
+//     table between the searchers and the engine. The engine is a pure
+//     function of its seed, so a stage candidate measured once is reused
+//     across the pipeline degrees of one search, across the full and
+//     pruned searches of a deployment point, and across every GPU count
+//     of a perfdb column. With it, candidate profiling inside a search
+//     and the types × counts loop of a database build both fan out over
+//     worker pools with bit-identical results (search.Options wires both
+//     into FullSearchOpts/PrunedSearchOpts).
 //   - The cluster scheduler: Arena's generalized event-driven policy plus
 //     the FCFS/Gavel/ElasticFlow/Sia baselines (sched, sched/policy).
 //   - The discrete-event cluster simulator, trace synthesis, performance
@@ -41,6 +50,20 @@
 //	res, _ := eng.Evaluate(graph, gp.Proxy.Plan, spec, 128)
 //	fmt.Printf("%s: %.1f samples/s\n", gp.Proxy.Plan, res.Throughput)
 //
+// # Performance-database snapshots
+//
+// Building the performance database exercises the planner, profiler and
+// both AP searches for every (workload, GPU type, count) point — by far
+// the most expensive step of a simulator run, and a deterministic
+// function of (seed, options). SavePerfDB/LoadPerfDB persist a built
+// database as a JSON snapshot, and BuildOrLoadPerfDB loads it back when
+// the fingerprint (seed, GPU types, counts, workloads) still matches,
+// skipping the rebuild entirely. The cmd tools expose this as -db-cache:
+//
+//	arena-sim   -policy all -trace philly -db-cache perfdb.json
+//	arena-bench -fig fig11 -db-cache ./dbcache
+//	arena-plan  -model GPT-1.3B -gpu A40 -n 8 -db-cache plan.json
+//
 // See examples/ for runnable programs and cmd/arena-bench for the full
 // reproduction of the paper's evaluation.
 package arena
@@ -48,6 +71,7 @@ package arena
 import (
 	"github.com/sjtu-epcc/arena/internal/cluster"
 	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/evalcache"
 	"github.com/sjtu-epcc/arena/internal/exec"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/metrics"
@@ -198,15 +222,41 @@ func ProfileJob(pl *Planner, pr *Profiler, g *Graph, w Workload, gpuTypes []stri
 // SearchOutcome is a search result with cost accounting.
 type SearchOutcome = search.Outcome
 
+// SearchOptions tune search execution (memoization cache, profiling
+// fan-out, node packing) without changing outcomes.
+type SearchOptions = search.Options
+
 // FullSearch runs the Alpa-style full-space AP search.
 func FullSearch(eng *Engine, g *Graph, spec GPU, globalBatch, n int) (SearchOutcome, error) {
 	return search.FullSearch(eng, g, spec, globalBatch, n)
+}
+
+// FullSearchOpts is FullSearch with execution options.
+func FullSearchOpts(eng *Engine, g *Graph, spec GPU, globalBatch, n int, opts SearchOptions) (SearchOutcome, error) {
+	return search.FullSearchOpts(eng, g, spec, globalBatch, n, opts)
 }
 
 // PrunedSearch runs Arena's space-pruned AP search for a selected grid.
 func PrunedSearch(eng *Engine, g *Graph, spec GPU, globalBatch, n int, gp *GridPlan) (SearchOutcome, error) {
 	return search.PrunedSearch(eng, g, spec, globalBatch, n, gp)
 }
+
+// PrunedSearchOpts is PrunedSearch with execution options.
+func PrunedSearchOpts(eng *Engine, g *Graph, spec GPU, globalBatch, n int, gp *GridPlan, opts SearchOptions) (SearchOutcome, error) {
+	return search.PrunedSearchOpts(eng, g, spec, globalBatch, n, gp, opts)
+}
+
+// --- Stage-measurement cache ---
+
+// EvalCache memoizes stage measurements and plan evaluations for one
+// engine; share one across searches to eliminate redundant profiling.
+type EvalCache = evalcache.Cache
+
+// EvalCacheStats reports cache hit/miss counters.
+type EvalCacheStats = evalcache.Stats
+
+// NewEvalCache returns an empty cache bound to the engine.
+func NewEvalCache(eng *Engine) *EvalCache { return evalcache.New(eng) }
 
 // --- Scheduling ---
 
@@ -270,6 +320,19 @@ type PerfDBOptions = perfdb.Options
 
 // BuildPerfDB constructs the database over the engine.
 func BuildPerfDB(eng *Engine, opts PerfDBOptions) (*PerfDB, error) { return perfdb.Build(eng, opts) }
+
+// SavePerfDB is db.Save: it writes the database as a JSON snapshot.
+func SavePerfDB(db *PerfDB, path string) error { return db.Save(path) }
+
+// LoadPerfDB reads a JSON snapshot back into a usable database.
+func LoadPerfDB(path string) (*PerfDB, error) { return perfdb.Load(path) }
+
+// BuildOrLoadPerfDB loads the snapshot at path when it matches the
+// request (seed, GPU types, counts, workloads) and otherwise builds
+// fresh, saving the snapshot for next time. The bool reports a load.
+func BuildOrLoadPerfDB(eng *Engine, opts PerfDBOptions, path string) (*PerfDB, bool, error) {
+	return perfdb.BuildOrLoad(eng, opts, path)
+}
 
 // SimConfig drives one cluster simulation.
 type SimConfig = sim.Config

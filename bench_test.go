@@ -8,14 +8,17 @@ package arena_test
 import (
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
 	arena "github.com/sjtu-epcc/arena"
 	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/evalcache"
 	"github.com/sjtu-epcc/arena/internal/experiments"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
 	"github.com/sjtu-epcc/arena/internal/planner"
 	"github.com/sjtu-epcc/arena/internal/profiler"
 	"github.com/sjtu-epcc/arena/internal/search"
@@ -137,6 +140,79 @@ func BenchmarkFullSearch8GPU(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFullSearch compares the legacy serial uncached full search
+// against the memoized + parallel path on the same inputs (one 16-GPU
+// column, n = 1..16, as perfdb builds it). The cached variant starts
+// from a cold cache every iteration, so the measured speedup is real
+// intra-column reuse plus profiling fan-out, not warm-cache replay.
+func BenchmarkFullSearch(b *testing.B) {
+	eng := arena.NewEngine(42)
+	g := arena.MustBuildModel("GPT-1.3B")
+	spec := arena.MustGPU("A40")
+	column := func(opts search.Options) {
+		for n := 1; n <= 16; n *= 2 {
+			if _, err := search.FullSearchOpts(eng, g, spec, 128, n, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			column(search.Options{})
+		}
+	})
+	b.Run("cached-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			column(search.Options{Cache: evalcache.New(eng), Workers: -1})
+		}
+	})
+}
+
+// BenchmarkBuildPerfDB compares three ways of obtaining the same
+// database on identical inputs: the pre-memoization build (NoCache:
+// per-workload concurrency only, every search measuring from scratch),
+// the cached build (shared per-workload evalcache plus the types ×
+// counts fan-out), and the -db-cache path (BuildOrLoad against a warm
+// JSON snapshot — what a repeated simulator run pays).
+func BenchmarkBuildPerfDB(b *testing.B) {
+	workloads := []model.Workload{
+		{Model: "GPT-1.3B", GlobalBatch: 128},
+		{Model: "WRes-1B", GlobalBatch: 256},
+	}
+	opts := func(noCache bool) perfdb.Options {
+		return perfdb.Options{
+			GPUTypes: []string{"A40"}, MaxN: 16,
+			Workloads: workloads, NoCache: noCache,
+		}
+	}
+	run := func(b *testing.B, noCache bool) {
+		for i := 0; i < b.N; i++ {
+			if _, err := perfdb.Build(arena.NewEngine(42), opts(noCache)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, true) })
+	b.Run("cached", func(b *testing.B) { run(b, false) })
+	b.Run("snapshot", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "perfdb.json")
+		eng := arena.NewEngine(42)
+		if _, _, err := perfdb.BuildOrLoad(eng, opts(false), path); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db, loaded, err := perfdb.BuildOrLoad(eng, opts(false), path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !loaded || db == nil {
+				b.Fatal("snapshot not used")
+			}
+		}
+	})
 }
 
 func BenchmarkProfileGridPlan(b *testing.B) {

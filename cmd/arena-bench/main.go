@@ -22,13 +22,15 @@ import (
 
 func main() {
 	var (
-		figs = flag.String("fig", "all", "comma-separated experiment IDs, or 'all'")
-		list = flag.Bool("list", false, "list available experiments and exit")
-		seed = flag.Uint64("seed", 42, "determinism seed")
+		figs    = flag.String("fig", "all", "comma-separated experiment IDs, or 'all'")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		seed    = flag.Uint64("seed", 42, "determinism seed")
+		dbCache = flag.String("db-cache", "", "directory for PerfDB JSON snapshots; repeated runs skip the database rebuild")
 	)
 	flag.Parse()
 
 	env := experiments.NewEnv(*seed)
+	env.DBCacheDir = *dbCache
 	if *list {
 		for _, ex := range env.Registry() {
 			fmt.Printf("%-10s %s\n", ex.ID, ex.Brief)

@@ -18,6 +18,7 @@ import (
 	"github.com/sjtu-epcc/arena/internal/exec"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
 	"github.com/sjtu-epcc/arena/internal/planner"
 )
 
@@ -32,6 +33,7 @@ func main() {
 		measure   = flag.Bool("measure", true, "measure proxy plans on the simulated testbed")
 		seed      = flag.Uint64("seed", 42, "determinism seed")
 		models    = flag.Bool("models", false, "list model variants and exit")
+		dbCache   = flag.String("db-cache", "", "PerfDB JSON snapshot path: print the searched AP optimum vs Arena's deployed plan for this point, building (and saving) the database only when the snapshot is missing or stale")
 	)
 	flag.Parse()
 
@@ -86,6 +88,31 @@ func main() {
 				fmt.Printf("          frontier[%d]: %-24s b_comp=%.3f l_comm=%.4fs ops=%v gpus=%v\n",
 					i, c.Plan, c.BComp, c.LComm, c.OpsPerStage, c.GPUsPerStage)
 			}
+		}
+	}
+
+	if *dbCache != "" {
+		db, loaded, err := perfdb.BuildOrLoad(eng, perfdb.Options{
+			Seed: *seed, GPUTypes: []string{*gpu}, MaxN: *n,
+			Workloads: []model.Workload{w},
+		}, *dbCache)
+		if err != nil {
+			if db == nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "arena-plan: warning: %v (continuing with the built database)\n", err)
+		}
+		src := "searched"
+		if loaded {
+			src = "snapshot"
+		}
+		if e, ok := db.Entry(w, *gpu, *n); ok {
+			fmt.Printf("\nperfdb (%s): AP optimum %-12s %8.1f samples/s (full search %.0fs)\n",
+				src, e.APPlan, e.APThr, e.SearchTimeFull)
+			fmt.Printf("             Arena       %-12s %8.1f samples/s (pruned search %.0fs, est %.1f)\n",
+				e.ArenaPlan, e.ArenaActualThr, e.SearchTimePruned, e.ArenaEstThr)
+		} else {
+			fmt.Printf("\nperfdb (%s): no entry for n=%d (the database holds power-of-two GPU counts only)\n", src, *n)
 		}
 	}
 }

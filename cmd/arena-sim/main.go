@@ -33,6 +33,7 @@ func main() {
 		scale       = flag.Float64("scale", 12, "job lifespan scale")
 		seed        = flag.Uint64("seed", 42, "determinism seed")
 		rounds      = flag.Int("rounds", 0, "max scheduling rounds (0 = auto)")
+		dbCache     = flag.String("db-cache", "", "PerfDB JSON snapshot path: load when valid, write after a fresh build")
 	)
 	flag.Parse()
 
@@ -54,14 +55,21 @@ func main() {
 
 	fmt.Printf("building performance database for %v (this exercises the planner, profiler and AP searches)...\n", types)
 	start := time.Now()
-	db, err := perfdb.Build(exec.NewEngine(*seed), perfdb.Options{
+	db, loaded, err := perfdb.BuildOrLoad(exec.NewEngine(*seed), perfdb.Options{
 		Seed: *seed, GPUTypes: types, MaxN: 16,
 		Workloads: trace.DefaultWorkloads(),
-	})
+	}, *dbCache)
 	if err != nil {
-		fatal(err)
+		if db == nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "arena-sim: warning: %v (continuing with the built database)\n", err)
 	}
-	fmt.Printf("  %d entries in %v\n\n", len(db.Keys()), time.Since(start).Round(time.Millisecond))
+	if loaded {
+		fmt.Printf("  %d entries loaded from snapshot %s in %v\n\n", len(db.Keys()), *dbCache, time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("  %d entries in %v\n\n", len(db.Keys()), time.Since(start).Round(time.Millisecond))
+	}
 
 	pols, err := pickPolicies(*policyName)
 	if err != nil {

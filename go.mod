@@ -1,0 +1,3 @@
+module github.com/sjtu-epcc/arena
+
+go 1.22

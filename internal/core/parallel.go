@@ -1,0 +1,35 @@
+package core
+
+import "sync"
+
+// ParallelFor runs fn(i) for every i in [0, n) on up to `workers`
+// goroutines, blocking until all complete. workers <= 1 (or n < 2) runs
+// inline on the caller's goroutine. fn must be safe to call concurrently
+// and must not panic across iterations it wants completed.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -165,11 +165,26 @@ func (e *Engine) Evaluate(g *model.Graph, p *parallel.Plan, spec hw.GPU, globalB
 	return e.EvaluateWithNodes(g, p, spec, globalBatch, spec.GPUsPerNode)
 }
 
+// StageMeasurer supplies per-stage measurements during plan evaluation.
+// The engine itself is the canonical implementation; a memoization layer
+// can substitute itself to reuse stage measurements a search already
+// performed — MeasureStage is pure, so any implementation returning the
+// engine's values yields an identical evaluation.
+type StageMeasurer interface {
+	MeasureStage(g *model.Graph, st parallel.StagePlan, spec hw.GPU, microSamples float64, gpusPerNode int) StageMeasure
+}
+
 // EvaluateWithNodes measures one training iteration of graph g under plan
 // p on GPUs of the given type, with gpusPerNode GPUs packed per node
 // (overriding the catalog default; Fig. 2(c)'s 2×1-A40-over-InfiniBand
 // setup uses gpusPerNode = 1).
 func (e *Engine) EvaluateWithNodes(g *model.Graph, p *parallel.Plan, spec hw.GPU, globalBatch, gpusPerNode int) (Result, error) {
+	return e.EvaluateMeasured(e, g, p, spec, globalBatch, gpusPerNode)
+}
+
+// EvaluateMeasured is EvaluateWithNodes drawing stage measurements from
+// an explicit StageMeasurer.
+func (e *Engine) EvaluateMeasured(sm StageMeasurer, g *model.Graph, p *parallel.Plan, spec hw.GPU, globalBatch, gpusPerNode int) (Result, error) {
 	if err := p.Validate(g); err != nil {
 		return Result{}, err
 	}
@@ -198,7 +213,7 @@ func (e *Engine) EvaluateWithNodes(g *model.Graph, p *parallel.Plan, spec hw.GPU
 	var maxGradSyncLatency float64
 
 	for i, st := range p.Stages {
-		m := e.MeasureStage(g, st, spec, microSamples, gpusPerNode)
+		m := sm.MeasureStage(g, st, spec, microSamples, gpusPerNode)
 		m.BwdCompute *= e.bwdJitter(g, i) // per-stage backward variance
 		stageTimes[i] = m.Time()
 

@@ -27,6 +27,34 @@ func (m StageMeasure) Time() float64 {
 	return (m.FwdCompute+m.BwdCompute)*m.Straggler + 2*m.TPComm
 }
 
+// OpMeasure is the engine's measurement of one operator inside a stage
+// context: its forward kernel latency and (when tensor-parallel) its
+// forward collective latency. It depends only on (op, device, samples per
+// replica, TP width, node packing) — the unit of the op-level
+// compute-redundancy elimination (§3.4) the evalcache performs.
+type OpMeasure struct {
+	Fwd    float64
+	TPComm float64
+}
+
+// MeasureOp measures one operator with spr samples per replica under
+// tp-way tensor parallelism.
+func (e *Engine) MeasureOp(op model.Op, spec hw.GPU, spr float64, tp, gpusPerNode int) OpMeasure {
+	om := OpMeasure{Fwd: e.KernelTime(op, spec, spr, tp)}
+	if tp > 1 && op.TPCommBytes > 0 {
+		topo := hw.Topology{
+			GPUType: spec.Name, Workers: tp,
+			CrossNode: tp > gpusPerNode, NICShare: gpusPerNode,
+		}
+		prim := hw.Primitive(op.TPPrimitive)
+		if prim == "" {
+			prim = hw.AllReduce
+		}
+		om.TPComm = e.CollectiveTime(prim, topo, op.TPCommBytes*spr)
+	}
+	return om
+}
+
 // MeasureStage measures one stage candidate: the operator range and
 // (dp, tp) shape of st, with microSamples samples per microbatch split
 // across dp replicas. This is the quantity a real system obtains by
@@ -37,21 +65,26 @@ func (e *Engine) MeasureStage(g *model.Graph, st parallel.StagePlan, spec hw.GPU
 		gpusPerNode = spec.GPUsPerNode
 	}
 	spr := microSamples / float64(st.DP) // samples per replica per microbatch
+	return e.MeasureStageFromOps(g, st, spec, microSamples, gpusPerNode, func(i int) OpMeasure {
+		return e.MeasureOp(g.Ops[i], spec, spr, st.TP, gpusPerNode)
+	})
+}
 
+// MeasureStageFromOps assembles a stage measurement from per-operator
+// measurements supplied by opAt (indexed into g.Ops), exactly as
+// MeasureStage does — same accumulation order, so an opAt serving
+// memoized MeasureOp values reproduces MeasureStage bit for bit.
+func (e *Engine) MeasureStageFromOps(g *model.Graph, st parallel.StagePlan, spec hw.GPU, microSamples float64, gpusPerNode int, opAt func(i int) OpMeasure) StageMeasure {
+	if gpusPerNode < 1 {
+		gpusPerNode = spec.GPUsPerNode
+	}
 	var m StageMeasure
-	for _, op := range g.Ops[st.OpStart:st.OpEnd] {
-		m.FwdCompute += e.KernelTime(op, spec, spr, st.TP)
-		m.ParamBytes += op.ParamBytes
-		if st.TP > 1 && op.TPCommBytes > 0 {
-			topo := hw.Topology{
-				GPUType: spec.Name, Workers: st.TP,
-				CrossNode: st.TP > gpusPerNode, NICShare: gpusPerNode,
-			}
-			prim := hw.Primitive(op.TPPrimitive)
-			if prim == "" {
-				prim = hw.AllReduce
-			}
-			m.TPComm += e.CollectiveTime(prim, topo, op.TPCommBytes*spr)
+	for i := st.OpStart; i < st.OpEnd; i++ {
+		om := opAt(i)
+		m.FwdCompute += om.Fwd
+		m.ParamBytes += g.Ops[i].ParamBytes
+		if om.TPComm != 0 {
+			m.TPComm += om.TPComm
 		}
 	}
 	m.BwdCompute = m.FwdCompute * e.BwdFactor

@@ -9,6 +9,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -80,6 +82,12 @@ func (t *Table) Fprint(w io.Writer) {
 type Env struct {
 	Seed uint64
 
+	// DBCacheDir, when non-empty, persists every performance database the
+	// experiments build as a JSON snapshot under this directory (one file
+	// per seed × GPU-type set) and reloads matching snapshots on later
+	// runs, skipping the rebuild entirely.
+	DBCacheDir string
+
 	mu   sync.Mutex
 	eng  *exec.Engine
 	comm map[string]*profiler.CommTable
@@ -126,19 +134,34 @@ func (e *Env) DB(types []string) (*perfdb.DB, error) {
 		return db, nil
 	}
 	e.mu.Unlock()
-	db, err := perfdb.Build(e.eng, perfdb.Options{
+	db, _, err := perfdb.BuildOrLoad(e.eng, perfdb.Options{
 		Seed:      e.Seed,
 		GPUTypes:  types,
 		MaxN:      16,
 		Workloads: trace.DefaultWorkloads(),
-	})
+	}, e.dbSnapshotPath(types))
 	if err != nil {
-		return nil, err
+		// A failed snapshot write still returns a usable database;
+		// experiments only lose the cross-run cache, not correctness.
+		if db == nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: warning: %v (continuing with the built database)\n", err)
 	}
 	e.mu.Lock()
 	e.dbs[key] = db
 	e.mu.Unlock()
 	return db, nil
+}
+
+// dbSnapshotPath names the snapshot file for a GPU-type set, or "" when
+// snapshotting is disabled.
+func (e *Env) dbSnapshotPath(types []string) string {
+	if e.DBCacheDir == "" {
+		return ""
+	}
+	name := fmt.Sprintf("perfdb-seed%d-%s.json", e.Seed, strings.Join(types, "_"))
+	return filepath.Join(e.DBCacheDir, name)
 }
 
 // Policies returns the five schedulers of §5.1 in the paper's order.

@@ -10,6 +10,7 @@ package parallel
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"github.com/sjtu-epcc/arena/internal/hw"
@@ -30,6 +31,26 @@ func (s StagePlan) GPUs() int { return s.DP * s.TP }
 
 // NumOps returns the operator count of the stage.
 func (s StagePlan) NumOps() int { return s.OpEnd - s.OpStart }
+
+// StagesKey renders a stage sequence as a compact unique string — the
+// canonical dedup/memo key for plan identity. Unlike Plan.String (which
+// shows only the intra-stage degrees), it encodes the operator ranges, so
+// two plans differing only in partition boundaries never collide.
+func StagesKey(stages []StagePlan) string {
+	var b strings.Builder
+	b.Grow(12 * len(stages))
+	for _, s := range stages {
+		b.WriteString(strconv.Itoa(s.OpStart))
+		b.WriteByte('-')
+		b.WriteString(strconv.Itoa(s.OpEnd))
+		b.WriteByte('d')
+		b.WriteString(strconv.Itoa(s.DP))
+		b.WriteByte('t')
+		b.WriteString(strconv.Itoa(s.TP))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
 
 // Plan is a complete scheduling-parallelism execution plan for one job on
 // a fixed GPU allocation: pipeline stages plus the microbatch count.

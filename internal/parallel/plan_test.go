@@ -240,3 +240,22 @@ func TestDefaultMicrobatchesRule(t *testing.T) {
 		}
 	}
 }
+
+func TestStagesKeyDistinguishesRanges(t *testing.T) {
+	// Plan.String collapses operator ranges ("PP2[DP2,DP2]" for any
+	// balanced split); the memo/dedup key must not.
+	a := []StagePlan{{OpStart: 0, OpEnd: 4, DP: 2, TP: 1}, {OpStart: 4, OpEnd: 8, DP: 2, TP: 1}}
+	b := []StagePlan{{OpStart: 0, OpEnd: 3, DP: 2, TP: 1}, {OpStart: 3, OpEnd: 8, DP: 2, TP: 1}}
+	if StagesKey(a) == StagesKey(b) {
+		t.Fatal("keys collide across different partitions")
+	}
+	if StagesKey(a) != StagesKey([]StagePlan{a[0], a[1]}) {
+		t.Fatal("key is not a pure function of the stage values")
+	}
+	// Multi-digit fields must not concatenate ambiguously (e.g. 1,12 vs 11,2).
+	c := []StagePlan{{OpStart: 1, OpEnd: 12, DP: 1, TP: 1}}
+	d := []StagePlan{{OpStart: 11, OpEnd: 2, DP: 1, TP: 1}}
+	if StagesKey(c) == StagesKey(d) {
+		t.Fatal("ambiguous digit concatenation")
+	}
+}

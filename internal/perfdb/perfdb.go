@@ -21,9 +21,9 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"sync"
 
 	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/evalcache"
 	"github.com/sjtu-epcc/arena/internal/exec"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/model"
@@ -70,6 +70,10 @@ type DB struct {
 	GPUTypes []string
 	MaxN     int
 
+	// seed records the build engine's determinism seed; snapshots refuse
+	// to serve a request built for a different seed.
+	seed uint64
+
 	entries map[Key]*Entry
 
 	// arenaProfileWall is Arena's per-workload grid-profiling wall time
@@ -88,10 +92,24 @@ type DB struct {
 
 // Options configure a database build.
 type Options struct {
+	// Seed, when non-zero, must match the engine's seed — the engine is
+	// the sole source of determinism; the field exists so call sites
+	// state their expectation and Build can catch a mismatched pairing.
 	Seed      uint64
 	GPUTypes  []string
 	MaxN      int
 	Workloads []model.Workload
+
+	// NoCache disables the shared stage-measurement cache and the
+	// types × counts fan-out, reproducing the pre-memoization build
+	// exactly (every search re-measures from scratch, serially within a
+	// workload). It exists as the reference baseline for determinism
+	// tests and benchmarks; the cached path is bit-identical, just
+	// faster.
+	NoCache bool
+	// Serial additionally disables the per-workload fan-out, forcing a
+	// fully single-threaded build.
+	Serial bool
 }
 
 // Build constructs the database by exercising the planner, profiler, full
@@ -100,6 +118,9 @@ type Options struct {
 func Build(eng *exec.Engine, opts Options) (*DB, error) {
 	if len(opts.GPUTypes) == 0 {
 		return nil, fmt.Errorf("perfdb: no GPU types")
+	}
+	if opts.Seed != 0 && opts.Seed != eng.Seed() {
+		return nil, fmt.Errorf("perfdb: options seed %d does not match engine seed %d", opts.Seed, eng.Seed())
 	}
 	if opts.MaxN < 1 {
 		opts.MaxN = 16
@@ -110,6 +131,7 @@ func Build(eng *exec.Engine, opts Options) (*DB, error) {
 	db := &DB{
 		GPUTypes:         opts.GPUTypes,
 		MaxN:             opts.MaxN,
+		seed:             eng.Seed(),
 		entries:          map[Key]*Entry{},
 		arenaProfileWall: map[model.Workload]float64{},
 		dpProfileWall:    map[model.Workload]float64{},
@@ -124,27 +146,14 @@ func Build(eng *exec.Engine, opts Options) (*DB, error) {
 
 	// Workloads are independent; build them concurrently. The engine is a
 	// pure function of its seed, so concurrency cannot perturb results.
-	type workloadResult struct {
-		w         model.Workload
-		entries   map[Key]*Entry
-		arenaWall float64
-		dpWall    float64
-		siaWall   float64
-		err       error
-	}
 	results := make([]workloadResult, len(opts.Workloads))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, w := range opts.Workloads {
-		wg.Add(1)
-		go func(i int, w model.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = buildWorkload(eng, ct, w, opts)
-		}(i, w)
+	workloadWorkers := runtime.GOMAXPROCS(0)
+	if opts.Serial {
+		workloadWorkers = 1
 	}
-	wg.Wait()
+	core.ParallelFor(len(opts.Workloads), workloadWorkers, func(i int) {
+		results[i] = buildWorkload(eng, ct, opts.Workloads[i], opts)
+	})
 
 	for _, r := range results {
 		if r.err != nil {
@@ -160,15 +169,34 @@ func Build(eng *exec.Engine, opts Options) (*DB, error) {
 	return db, nil
 }
 
-// buildWorkload computes every entry of one workload (all types × counts).
-func buildWorkload(eng *exec.Engine, ct *profiler.CommTable, w model.Workload, opts Options) (res struct {
+// workloadResult is one workload's contribution to the database.
+type workloadResult struct {
 	w         model.Workload
 	entries   map[Key]*Entry
 	arenaWall float64
 	dpWall    float64
 	siaWall   float64
 	err       error
-}) {
+}
+
+// pointResult is one (type, count) point's contribution to a workload.
+type pointResult struct {
+	entry   *Entry
+	dpWall  float64
+	siaWall float64
+	err     error
+}
+
+// buildWorkload computes every entry of one workload (all types × counts).
+//
+// All points of the workload share one evalcache: a stage candidate
+// measured for the n=4 full search is byte-identical for n=8 (and for the
+// pruned search of either), so the column's search cost collapses to the
+// distinct-candidate set. The points fan out over a worker pool; the wall
+// time accumulators are folded serially in (type, count) order afterwards
+// so float summation order — and therefore every derived number — matches
+// the serial build bit for bit.
+func buildWorkload(eng *exec.Engine, ct *profiler.CommTable, w model.Workload, opts Options) (res workloadResult) {
 	res.w = w
 	res.entries = map[Key]*Entry{}
 	g, err := model.BuildClustered(w.Model)
@@ -187,56 +215,47 @@ func buildWorkload(eng *exec.Engine, ct *profiler.CommTable, w model.Workload, o
 	}
 	res.arenaWall = jp.TotalProfileGPUTime // single profiling GPU
 
+	// Concurrency budget: the build already fans out across workloads
+	// (GOMAXPROCS-gated) and, below, across this workload's (type, count)
+	// points — so searches run with Workers: 1. Splitting the core budget
+	// a third time inside profileStageCandidates would only multiply
+	// CPU-bound goroutines (GOMAXPROCS³) contending on the shard locks.
+	var searchOpts search.Options
+	if !opts.NoCache {
+		searchOpts = search.Options{Cache: evalcache.New(eng), Workers: 1}
+	}
+
+	type point struct {
+		typ string
+		n   int
+	}
+	var points []point
 	for _, typ := range opts.GPUTypes {
-		spec := hw.MustLookup(typ)
 		for n := 1; n <= opts.MaxN; n *= 2 {
-			key := Key{Workload: w, GPUType: typ, N: n}
-			e := &Entry{}
-			res.entries[key] = e
-
-			// Static DP view.
-			dpRes, err := eng.Evaluate(g, parallel.PureDP(g, n), spec, w.GlobalBatch)
-			if err != nil {
-				res.err = err
-				return res
-			}
-			if dpRes.Fits {
-				e.DPThr = dpRes.Throughput
-				// Full DP profiling occupies the n GPUs for warm-up plus
-				// measured iterations (the ElasticFlow ahead-of-time pass,
-				// ≈10 minutes per job across resources, §1).
-				res.dpWall += 30 + dpRes.IterTime*15
-				if n == 1 {
-					res.siaWall += 30 + dpRes.IterTime*20 // bootstrap
-				}
-			} else {
-				res.dpWall += 15 // OOM probe
-			}
-
-			// Adaptive-parallelism optimum (what execution achieves).
-			full, err := search.FullSearch(eng, g, spec, w.GlobalBatch, n)
-			if err != nil {
-				res.err = err
-				return res
-			}
-			e.SearchTimeFull = full.SearchTime
-			if full.Feasible() {
-				e.APThr = full.Result.Throughput
-				e.APPlan = full.Plan.Degrees()
-			}
-
-			// Arena's view: best grid estimate + pruned-search plan.
-			r := core.Resource{GPUType: typ, N: n}
-			if grid, ok := jp.BestGrid(r); ok {
-				e.ArenaEstThr = jp.Estimates[grid].Throughput
-				pruned, err := search.PrunedSearch(eng, g, spec, w.GlobalBatch, n, jp.GridPlans[grid])
-				if err == nil && pruned.Feasible() {
-					e.ArenaActualThr = pruned.Result.Throughput
-					e.ArenaPlan = pruned.Plan.Degrees()
-					e.SearchTimePruned = pruned.SearchTime
-				}
-			}
+			points = append(points, point{typ, n})
 		}
+	}
+	outs := make([]pointResult, len(points))
+	workers := 1
+	if !opts.NoCache && !opts.Serial {
+		// Split the core budget across the workloads building
+		// concurrently so the two fan-out levels multiply to
+		// ~GOMAXPROCS, not GOMAXPROCS².
+		workers = max(1, runtime.GOMAXPROCS(0)/max(1, min(len(opts.Workloads), runtime.GOMAXPROCS(0))))
+	}
+	core.ParallelFor(len(points), workers, func(i int) {
+		outs[i] = buildPoint(eng, g, w, jp, points[i].typ, points[i].n, searchOpts)
+	})
+
+	for i, p := range points {
+		out := outs[i]
+		if out.err != nil {
+			res.err = out.err
+			return res
+		}
+		res.entries[Key{Workload: w, GPUType: p.typ, N: p.n}] = out.entry
+		res.dpWall += out.dpWall
+		res.siaWall += out.siaWall
 	}
 	// Sia cannot bootstrap from a 1-GPU DP profile when the model does
 	// not fit one GPU; it falls back to probing a manually partitioned
@@ -245,6 +264,63 @@ func buildWorkload(eng *exec.Engine, ct *profiler.CommTable, w model.Workload, o
 		res.siaWall = 120
 	}
 	return res
+}
+
+// buildPoint computes the entry for one (workload, type, count) point.
+func buildPoint(eng *exec.Engine, g *model.Graph, w model.Workload, jp *profiler.JobProfile, typ string, n int, searchOpts search.Options) (out pointResult) {
+	spec := hw.MustLookup(typ)
+	e := &Entry{}
+	out.entry = e
+
+	// Static DP view.
+	var dpRes exec.Result
+	var err error
+	if c := searchOpts.Cache; c != nil {
+		dpRes, err = c.Evaluate(g, parallel.PureDP(g, n), spec, w.GlobalBatch, spec.GPUsPerNode)
+	} else {
+		dpRes, err = eng.Evaluate(g, parallel.PureDP(g, n), spec, w.GlobalBatch)
+	}
+	if err != nil {
+		out.err = err
+		return out
+	}
+	if dpRes.Fits {
+		e.DPThr = dpRes.Throughput
+		// Full DP profiling occupies the n GPUs for warm-up plus
+		// measured iterations (the ElasticFlow ahead-of-time pass,
+		// ≈10 minutes per job across resources, §1).
+		out.dpWall += 30 + dpRes.IterTime*15
+		if n == 1 {
+			out.siaWall += 30 + dpRes.IterTime*20 // bootstrap
+		}
+	} else {
+		out.dpWall += 15 // OOM probe
+	}
+
+	// Adaptive-parallelism optimum (what execution achieves).
+	full, err := search.FullSearchOpts(eng, g, spec, w.GlobalBatch, n, searchOpts)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	e.SearchTimeFull = full.SearchTime
+	if full.Feasible() {
+		e.APThr = full.Result.Throughput
+		e.APPlan = full.Plan.Degrees()
+	}
+
+	// Arena's view: best grid estimate + pruned-search plan.
+	r := core.Resource{GPUType: typ, N: n}
+	if grid, ok := jp.BestGrid(r); ok {
+		e.ArenaEstThr = jp.Estimates[grid].Throughput
+		pruned, err := search.PrunedSearchOpts(eng, g, spec, w.GlobalBatch, n, jp.GridPlans[grid], searchOpts)
+		if err == nil && pruned.Feasible() {
+			e.ArenaActualThr = pruned.Result.Throughput
+			e.ArenaPlan = pruned.Plan.Degrees()
+			e.SearchTimePruned = pruned.SearchTime
+		}
+	}
+	return out
 }
 
 // Entry returns the database entry for a key, if present.

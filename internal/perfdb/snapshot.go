@@ -1,0 +1,211 @@
+package perfdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/model"
+)
+
+// snapshotVersion guards the on-disk schema; bump on incompatible change.
+const snapshotVersion = 1
+
+// snapshot is the JSON form of a DB. Struct-keyed maps cannot marshal
+// directly, so entries and wall times flatten into sorted slices;
+// encoding/json round-trips float64 exactly, so a loaded database is
+// bit-identical to the built one. Online observations are deliberately
+// excluded — they are per-simulation state the simulator resets anyway.
+type snapshot struct {
+	Version  int      `json:"version"`
+	Seed     uint64   `json:"seed"`
+	GPUTypes []string `json:"gpuTypes"`
+	MaxN     int      `json:"maxN"`
+
+	Entries []entrySnap `json:"entries"`
+
+	ArenaWall []wallSnap `json:"arenaProfileWall"`
+	DPWall    []wallSnap `json:"dpProfileWall"`
+	SiaWall   []wallSnap `json:"siaProfileWall"`
+}
+
+type entrySnap struct {
+	Model       string `json:"model"`
+	GlobalBatch int    `json:"globalBatch"`
+	GPUType     string `json:"gpuType"`
+	N           int    `json:"n"`
+	Entry       Entry  `json:"entry"`
+}
+
+type wallSnap struct {
+	Model       string  `json:"model"`
+	GlobalBatch int     `json:"globalBatch"`
+	Seconds     float64 `json:"seconds"`
+}
+
+// Save writes the database as a JSON snapshot, atomically (write to a
+// temp file in the target directory, then rename).
+func (db *DB) Save(path string) error {
+	snap := snapshot{
+		Version:  snapshotVersion,
+		Seed:     db.seed,
+		GPUTypes: db.GPUTypes,
+		MaxN:     db.MaxN,
+	}
+	for _, k := range db.Keys() {
+		snap.Entries = append(snap.Entries, entrySnap{
+			Model: k.Workload.Model, GlobalBatch: k.Workload.GlobalBatch,
+			GPUType: k.GPUType, N: k.N,
+			Entry: *db.entries[k],
+		})
+	}
+	snap.ArenaWall = wallSnaps(db.arenaProfileWall)
+	snap.DPWall = wallSnaps(db.dpProfileWall)
+	snap.SiaWall = wallSnaps(db.siaProfileWall)
+
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".perfdb-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// wallSnaps flattens a per-workload wall-time map, sorted for stable dumps.
+func wallSnaps(m map[model.Workload]float64) []wallSnap {
+	out := make([]wallSnap, 0, len(m))
+	for w, s := range m {
+		out = append(out, wallSnap{Model: w.Model, GlobalBatch: w.GlobalBatch, Seconds: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Model != out[j].Model {
+			return out[i].Model < out[j].Model
+		}
+		return out[i].GlobalBatch < out[j].GlobalBatch
+	})
+	return out
+}
+
+// Load reads a JSON snapshot back into a fully usable database.
+func Load(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("perfdb: corrupt snapshot %s: %w", path, err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("perfdb: snapshot %s has version %d, want %d", path, snap.Version, snapshotVersion)
+	}
+	db := &DB{
+		GPUTypes:         snap.GPUTypes,
+		MaxN:             snap.MaxN,
+		seed:             snap.Seed,
+		entries:          map[Key]*Entry{},
+		arenaProfileWall: map[model.Workload]float64{},
+		dpProfileWall:    map[model.Workload]float64{},
+		siaProfileWall:   map[model.Workload]float64{},
+		observed:         map[Key]float64{},
+	}
+	for _, es := range snap.Entries {
+		e := es.Entry
+		db.entries[Key{
+			Workload: model.Workload{Model: es.Model, GlobalBatch: es.GlobalBatch},
+			GPUType:  es.GPUType, N: es.N,
+		}] = &e
+	}
+	loadWalls(db.arenaProfileWall, snap.ArenaWall)
+	loadWalls(db.dpProfileWall, snap.DPWall)
+	loadWalls(db.siaProfileWall, snap.SiaWall)
+	return db, nil
+}
+
+func loadWalls(dst map[model.Workload]float64, src []wallSnap) {
+	for _, ws := range src {
+		dst[model.Workload{Model: ws.Model, GlobalBatch: ws.GlobalBatch}] = ws.Seconds
+	}
+}
+
+// Matches reports whether the database can serve a build request: same
+// engine seed, same GPU-type set, at least the requested MaxN, and an
+// entry column for every requested workload. Options defaults are applied
+// exactly as Build applies them, including rejecting a non-zero
+// Options.Seed that contradicts the engine's — so a misconfigured pairing
+// falls through to Build, which reports it.
+func (db *DB) Matches(seed uint64, opts Options) bool {
+	if db.seed != seed {
+		return false
+	}
+	if opts.Seed != 0 && opts.Seed != seed {
+		return false
+	}
+	if opts.MaxN < 1 {
+		opts.MaxN = 16
+	}
+	if len(opts.Workloads) == 0 {
+		opts.Workloads = model.Workloads()
+	}
+	if db.MaxN < opts.MaxN || len(db.GPUTypes) != len(opts.GPUTypes) {
+		return false
+	}
+	for i, t := range opts.GPUTypes {
+		if db.GPUTypes[i] != t {
+			return false
+		}
+	}
+	for _, w := range opts.Workloads {
+		for _, t := range opts.GPUTypes {
+			if _, ok := db.entries[Key{Workload: w, GPUType: t, N: 1}]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BuildOrLoad returns a database for the request, loading the snapshot at
+// path when it exists and matches (seed, types, counts, workloads), and
+// otherwise building fresh and writing the snapshot for the next run. The
+// returned bool reports whether the snapshot was used. An empty path
+// always builds and never writes. A failed snapshot write returns the
+// (fully usable) database together with the error: persistence is a
+// cache concern, and an expensive successful build must not be discarded
+// over it — callers decide whether to warn or abort.
+func BuildOrLoad(eng *exec.Engine, opts Options, path string) (*DB, bool, error) {
+	if path == "" {
+		db, err := Build(eng, opts)
+		return db, false, err
+	}
+	if db, err := Load(path); err == nil && db.Matches(eng.Seed(), opts) {
+		return db, true, nil
+	}
+	db, err := Build(eng, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := db.Save(path); err != nil {
+		return db, false, fmt.Errorf("perfdb: saving snapshot: %w", err)
+	}
+	return db, false, nil
+}

@@ -1,0 +1,165 @@
+package perfdb
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/model"
+)
+
+func smallOpts() Options {
+	return Options{
+		GPUTypes: []string{"A40"},
+		MaxN:     8,
+		Workloads: []model.Workload{
+			{Model: "GPT-1.3B", GlobalBatch: 128},
+			{Model: "WRes-1B", GlobalBatch: 256},
+		},
+	}
+}
+
+// equalDB asserts two databases are bit-identical in every externally
+// observable dimension.
+func equalDB(t *testing.T, a, b *DB, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Keys(), b.Keys()) {
+		t.Fatalf("%s: key sets differ", label)
+	}
+	for _, k := range a.Keys() {
+		ea, eb := a.entries[k], b.entries[k]
+		if !reflect.DeepEqual(*ea, *eb) {
+			t.Errorf("%s: entry %v differs:\n a: %+v\n b: %+v", label, k, *ea, *eb)
+		}
+	}
+	if !reflect.DeepEqual(a.arenaProfileWall, b.arenaProfileWall) {
+		t.Errorf("%s: arena profile wall differs", label)
+	}
+	if !reflect.DeepEqual(a.dpProfileWall, b.dpProfileWall) {
+		t.Errorf("%s: dp profile wall differs", label)
+	}
+	if !reflect.DeepEqual(a.siaProfileWall, b.siaProfileWall) {
+		t.Errorf("%s: sia profile wall differs", label)
+	}
+}
+
+// TestCachedBuildMatchesUncachedSerial is the perfdb half of the tentpole
+// determinism guarantee: the memoized fan-out build and the pre-cache
+// serial build produce byte-identical databases — entries (throughputs,
+// plans, modeled search times) and profiling wall-time accumulators.
+func TestCachedBuildMatchesUncachedSerial(t *testing.T) {
+	cached, err := Build(exec.NewEngine(42), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineOpts := smallOpts()
+	baselineOpts.NoCache = true
+	baselineOpts.Serial = true
+	baseline, err := Build(exec.NewEngine(42), baselineOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalDB(t, cached, baseline, "cached vs serial-uncached")
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	built, err := Build(exec.NewEngine(42), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := built.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalDB(t, built, loaded, "save/load")
+	if loaded.seed != built.seed || loaded.MaxN != built.MaxN ||
+		!reflect.DeepEqual(loaded.GPUTypes, built.GPUTypes) {
+		t.Error("snapshot metadata did not round-trip")
+	}
+	// A loaded database must be fully usable, including observations.
+	w := smallOpts().Workloads[0]
+	loaded.Observe(w, "A40", 4, 123)
+	if got := loaded.ObservedThr(w, "A40", 4); got != 123 {
+		t.Errorf("observations broken after load: %v", got)
+	}
+}
+
+func TestBuildOrLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	eng := exec.NewEngine(42)
+
+	first, loaded, err := BuildOrLoad(eng, smallOpts(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded {
+		t.Fatal("first call must build")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	second, loaded, err := BuildOrLoad(eng, smallOpts(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded {
+		t.Fatal("second call must load the snapshot")
+	}
+	equalDB(t, first, second, "built vs reloaded")
+
+	// A subset request (fewer workloads) is served by the wider snapshot.
+	sub := smallOpts()
+	sub.Workloads = sub.Workloads[:1]
+	_, loaded, err = BuildOrLoad(eng, sub, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded {
+		t.Fatal("subset request should load the covering snapshot")
+	}
+
+	// A different seed invalidates the snapshot (and overwrites it).
+	third, loaded, err := BuildOrLoad(exec.NewEngine(7), smallOpts(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded {
+		t.Fatal("mismatched seed must rebuild")
+	}
+	if third.seed != 7 {
+		t.Fatalf("rebuild kept stale seed %d", third.seed)
+	}
+}
+
+func TestBuildOrLoadKeepsDBWhenSaveFails(t *testing.T) {
+	// A failed snapshot write must not discard the expensive build.
+	db, loaded, err := BuildOrLoad(exec.NewEngine(42), smallOpts(), "/proc/nonexistent/db.json")
+	if err == nil {
+		t.Fatal("want a save error for an unwritable path")
+	}
+	if loaded {
+		t.Fatal("nothing to load")
+	}
+	if db == nil || len(db.Keys()) == 0 {
+		t.Fatal("built database was discarded over a persistence failure")
+	}
+}
+
+func TestLoadRejectsCorruptAndMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("want error for corrupt snapshot")
+	}
+}

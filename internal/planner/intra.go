@@ -18,11 +18,14 @@ type intraSelector struct {
 	spec     hw.GPU
 	grid     core.Grid
 	numMicro int
-	memo     map[intraKey]*intraChoice
-}
 
-type intraKey struct {
-	start, end, gpus int
+	// memo is a dense table over (start, end, log2 gpus): O(O² log N)
+	// entries, all hit many times across a grid's partitions — an array
+	// avoids map hashing on the planner's hottest lookup.
+	memo    []*intraChoice
+	memoSet []bool
+	numOps  int
+	logGPUs int
 }
 
 // intraChoice is the selected factorization with its analytic comm costs.
@@ -33,7 +36,25 @@ type intraChoice struct {
 }
 
 func newIntraSelector(g *model.Graph, spec hw.GPU, grid core.Grid, numMicro int) *intraSelector {
-	return &intraSelector{graph: g, spec: spec, grid: grid, numMicro: numMicro, memo: map[intraKey]*intraChoice{}}
+	logGPUs := 1
+	for p := 1; p < grid.N; p *= 2 {
+		logGPUs++
+	}
+	size := (len(g.Ops) + 1) * (len(g.Ops) + 1) * logGPUs
+	return &intraSelector{
+		graph: g, spec: spec, grid: grid, numMicro: numMicro,
+		memo: make([]*intraChoice, size), memoSet: make([]bool, size),
+		numOps: len(g.Ops), logGPUs: logGPUs,
+	}
+}
+
+// memoIdx flattens (start, end, gpus) — gpus is always a power of two.
+func (is *intraSelector) memoIdx(start, end, gpus int) int {
+	lg := 0
+	for p := 1; p < gpus; p *= 2 {
+		lg++
+	}
+	return (start*(is.numOps+1)+end)*is.logGPUs + lg
 }
 
 // best returns the minimal-communication feasible (dp, tp) for a stage of
@@ -42,9 +63,9 @@ func newIntraSelector(g *model.Graph, spec hw.GPU, grid core.Grid, numMicro int)
 // most in-flight microbatches), keeping the planner's feasibility
 // judgement independent of where the stage lands in the pipeline.
 func (is *intraSelector) best(start, end, gpus int) *intraChoice {
-	key := intraKey{start, end, gpus}
-	if c, ok := is.memo[key]; ok {
-		return c
+	key := is.memoIdx(start, end, gpus)
+	if is.memoSet[key] {
+		return is.memo[key]
 	}
 	var best *intraChoice
 	for tp := 1; tp <= gpus; tp *= 2 {
@@ -63,6 +84,7 @@ func (is *intraSelector) best(start, end, gpus int) *intraChoice {
 		}
 	}
 	is.memo[key] = best
+	is.memoSet[key] = true
 	return best
 }
 

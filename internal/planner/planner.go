@@ -121,9 +121,10 @@ func (pl *Planner) PlanGrid(g *model.Graph, grid core.Grid) (*GridPlan, error) {
 	out := &GridPlan{Grid: grid}
 	var candidates []*Candidate
 
+	scr := newCandScratch(grid.S, grid.N)
 	forEachPartition(numOps, grid.S, func(bounds []int) {
 		out.CandidatesEvaluated++
-		cand := pl.buildCandidate(g, spec, grid, stats, intra, bounds, totalLoad, numMicro)
+		cand := pl.buildCandidate(g, spec, grid, stats, intra, bounds, totalLoad, numMicro, scr)
 		if cand != nil {
 			candidates = append(candidates, cand)
 		}
@@ -158,12 +159,40 @@ func (pl *Planner) EnumerateCandidates(g *model.Graph, grid core.Grid) []*Candid
 	numMicro := parallel.DefaultMicrobatches(grid.S)
 	intra := newIntraSelector(g, spec, grid, numMicro)
 	var out []*Candidate
+	scr := newCandScratch(grid.S, grid.N)
 	forEachPartition(numOps, grid.S, func(bounds []int) {
-		if cand := pl.buildCandidate(g, spec, grid, stats, intra, bounds, totalLoad, numMicro); cand != nil {
+		if cand := pl.buildCandidate(g, spec, grid, stats, intra, bounds, totalLoad, numMicro, scr); cand != nil {
 			out = append(out, cand)
 		}
 	})
 	return out
+}
+
+// candScratch holds the per-partition working storage of one PlanGrid
+// pass. A grid enumerates C(O−1, s−1) partitions and most are rejected;
+// reusing the trial buffers (and the assignment DP tables) across them
+// removes the planner's dominant allocation cost. Feasible candidates
+// copy the buffers out, so retained plans never alias the scratch.
+type candScratch struct {
+	ideal  []float64
+	opsPer []int
+	assign []int
+	dp     []float64 // flat (s+1) × (n+1) assignment DP table
+	choice []int32
+	stamp  []uint32 // cell validity epoch — skips the per-partition fill
+	epoch  uint32
+}
+
+func newCandScratch(s, n int) *candScratch {
+	size := (s + 1) * (n + 1)
+	return &candScratch{
+		ideal:  make([]float64, s),
+		opsPer: make([]int, s),
+		assign: make([]int, s),
+		dp:     make([]float64, size),
+		choice: make([]int32, size),
+		stamp:  make([]uint32, size),
+	}
 }
 
 // buildCandidate evaluates a single stage partition (bounds = exclusive end
@@ -174,10 +203,11 @@ func (pl *Planner) buildCandidate(
 	g *model.Graph, spec hw.GPU, grid core.Grid,
 	stats *opRangeStats, intra *intraSelector,
 	bounds []int, totalLoad float64, numMicro int,
+	scr *candScratch,
 ) *Candidate {
 	s := grid.S
-	ideal := make([]float64, s)
-	opsPer := make([]int, s)
+	ideal := scr.ideal
+	opsPer := scr.opsPer
 	start := 0
 	for j, end := range bounds {
 		ideal[j] = stats.loadOf(start, end) / totalLoad * float64(grid.N)
@@ -185,7 +215,7 @@ func (pl *Planner) buildCandidate(
 		start = end
 	}
 
-	assign, bias2 := normalizeAssignment(ideal, grid.N)
+	assign, bias2 := normalizeAssignment(ideal, grid.N, scr)
 	if assign == nil {
 		return nil
 	}
@@ -213,14 +243,16 @@ func (pl *Planner) buildCandidate(
 	// gradient synchronization is counted once.
 	lComm := float64(numMicro-1)*maxStageComm + totalComm
 
-	return &Candidate{
+	// Detach the scratch-backed slices before retaining them.
+	cand := &Candidate{
 		Plan:         &parallel.Plan{Stages: stages, NumMicrobatches: numMicro},
 		BComp:        math.Sqrt(bias2),
 		LComm:        lComm,
-		OpsPerStage:  opsPer,
-		GPUsPerStage: assign,
-		IdealAssign:  ideal,
+		OpsPerStage:  append([]int(nil), opsPer...),
+		GPUsPerStage: append([]int(nil), assign...),
+		IdealAssign:  append([]float64(nil), ideal...),
 	}
+	return cand
 }
 
 // forEachPartition enumerates all compositions of numOps operators into s
@@ -247,48 +279,48 @@ func forEachPartition(numOps, s int, fn func(bounds []int)) {
 // normalizeAssignment finds the power-of-two per-stage GPU counts summing
 // to n that minimize the squared Euclidean distance to the ideal
 // fractional assignment (Eq. 3), via dynamic programming over stages.
-// Returns nil when n < len(ideal) (cannot give each stage a GPU).
-func normalizeAssignment(ideal []float64, n int) ([]int, float64) {
+// Returns nil when n < len(ideal) (cannot give each stage a GPU). The
+// returned slice is scratch-backed; callers retaining it must copy.
+func normalizeAssignment(ideal []float64, n int, scr *candScratch) ([]int, float64) {
 	s := len(ideal)
 	if n < s {
 		return nil, 0
 	}
 	const inf = math.MaxFloat64
-	// dp[j][r]: min cost assigning stages j.. with r GPUs remaining.
-	dp := make([][]float64, s+1)
-	choice := make([][]int, s+1)
-	for j := range dp {
-		dp[j] = make([]float64, n+1)
-		choice[j] = make([]int, n+1)
-		for r := range dp[j] {
-			dp[j][r] = inf
-		}
-	}
-	dp[s][0] = 0
+	// dp[j][r] (stored flat at j*(n+1)+r): min cost assigning stages j..
+	// with r GPUs remaining. Cells are valid only when their stamp matches
+	// the current epoch; everything else reads as inf, so no per-partition
+	// table fill is needed.
+	dp, choice, stamp := scr.dp, scr.choice, scr.stamp
+	scr.epoch++
+	epoch := scr.epoch
+	stamp[s*(n+1)+0] = epoch
+	dp[s*(n+1)+0] = 0
 	for j := s - 1; j >= 0; j-- {
+		row, next := j*(n+1), (j+1)*(n+1)
 		for r := 1; r <= n; r++ {
 			for p := 1; p <= r; p *= 2 {
-				rest := dp[j+1][r-p]
-				if rest == inf {
+				if stamp[next+r-p] != epoch {
 					continue
 				}
 				d := float64(p) - ideal[j]
-				cost := d*d + rest
-				if cost < dp[j][r] {
-					dp[j][r] = cost
-					choice[j][r] = p
+				cost := d*d + dp[next+r-p]
+				if stamp[row+r] != epoch || cost < dp[row+r] {
+					dp[row+r] = cost
+					choice[row+r] = int32(p)
+					stamp[row+r] = epoch
 				}
 			}
 		}
 	}
-	if dp[0][n] == inf {
+	if stamp[n] != epoch {
 		return nil, 0
 	}
-	assign := make([]int, s)
+	assign := scr.assign
 	r := n
 	for j := 0; j < s; j++ {
-		assign[j] = choice[j][r]
+		assign[j] = int(choice[j*(n+1)+r])
 		r -= assign[j]
 	}
-	return assign, dp[0][n]
+	return assign, dp[n]
 }

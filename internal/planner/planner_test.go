@@ -89,7 +89,7 @@ func TestNormalizeAssignmentOptimal(t *testing.T) {
 	f := func(a, b, c uint8) bool {
 		ideal := []float64{float64(a%8) + 0.3, float64(b%8) + 0.7, float64(c%8) + 0.1}
 		n := 8
-		assign, cost := normalizeAssignment(ideal, n)
+		assign, cost := normalizeAssignment(ideal, n, newCandScratch(len(ideal), n))
 		if assign == nil {
 			return false
 		}
@@ -111,7 +111,7 @@ func TestNormalizeAssignmentOptimal(t *testing.T) {
 }
 
 func TestNormalizeAssignmentInfeasible(t *testing.T) {
-	if assign, _ := normalizeAssignment([]float64{1, 1, 1}, 2); assign != nil {
+	if assign, _ := normalizeAssignment([]float64{1, 1, 1}, 2, newCandScratch(3, 2)); assign != nil {
 		t.Fatal("3 stages cannot share 2 GPUs")
 	}
 }

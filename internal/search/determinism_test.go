@@ -1,0 +1,127 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/evalcache"
+	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/planner"
+)
+
+// TestCachedParallelFullSearchIsDeterministic asserts the tentpole
+// invariant: the memoized, parallel search path returns outcomes
+// bit-identical to the legacy serial uncached path — same plan, same
+// measured result, and the same StageEvals/PlanEvals/SearchTime cost
+// accounting.
+func TestCachedParallelFullSearchIsDeterministic(t *testing.T) {
+	eng := exec.NewEngine(42)
+	spec := hw.MustLookup("A40")
+	cache := evalcache.New(eng)
+	for _, tc := range []struct {
+		model string
+		gb, n int
+	}{
+		{"GPT-1.3B", 128, 4},
+		{"GPT-1.3B", 128, 8},
+		{"WRes-1B", 256, 8},
+		{"MoE-1.3B", 256, 4},
+	} {
+		g, err := model.BuildClustered(tc.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := FullSearch(eng, g, spec, tc.gb, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One shared cache across all cases: cross-(model, n) pollution
+		// must be impossible by key construction.
+		cached, err := FullSearchOpts(eng, g, spec, tc.gb, tc.n, Options{Cache: cache, Workers: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, cached) {
+			t.Errorf("%s n=%d: cached/parallel outcome diverged\nserial: %+v plan %v\ncached: %+v plan %v",
+				tc.model, tc.n, serial.Result, serial.Plan, cached.Result, cached.Plan)
+		}
+		// And again fully warm: every measurement now comes from the memo
+		// table.
+		warm, err := FullSearchOpts(eng, g, spec, tc.gb, tc.n, Options{Cache: cache, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, warm) {
+			t.Errorf("%s n=%d: warm-cache outcome diverged", tc.model, tc.n)
+		}
+	}
+	if s := cache.Stats(); s.StageHits == 0 {
+		t.Error("shared cache recorded no stage hits across degrees/counts")
+	}
+}
+
+// TestCachedPrunedSearchIsDeterministic covers the pruned search and the
+// full↔pruned cache sharing of one deployment point.
+func TestCachedPrunedSearchIsDeterministic(t *testing.T) {
+	eng := exec.NewEngine(42)
+	spec := hw.MustLookup("A40")
+	g, err := model.BuildClustered("GPT-1.3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := model.Workload{Model: "GPT-1.3B", GlobalBatch: 128}
+	pl := planner.New()
+	var gp *planner.GridPlan
+	for _, s := range core.PipelineDegrees(8, len(g.Ops)) {
+		cand, err := pl.PlanGrid(g, core.Grid{Workload: w, GPUType: "A40", N: 8, S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cand.Feasible {
+			gp = cand
+			break
+		}
+	}
+	if gp == nil {
+		t.Fatal("no feasible grid plan")
+	}
+
+	serial, err := PrunedSearch(eng, g, spec, 128, 8, gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := evalcache.New(eng)
+	if _, err := FullSearchOpts(eng, g, spec, 128, 8, Options{Cache: cache, Workers: -1}); err != nil {
+		t.Fatal(err)
+	}
+	before := cache.Stats()
+	cached, err := PrunedSearchOpts(eng, g, spec, 128, 8, gp, Options{Cache: cache, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, cached) {
+		t.Errorf("pruned outcome diverged\nserial: %+v plan %v\ncached: %+v plan %v",
+			serial.Result, serial.Plan, cached.Result, cached.Plan)
+	}
+	after := cache.Stats()
+	if after.StageHits <= before.StageHits {
+		t.Error("pruned search reused no stage measurements from the full search")
+	}
+}
+
+func TestOptionsRejectForeignCache(t *testing.T) {
+	eng := exec.NewEngine(42)
+	other := exec.NewEngine(7)
+	g, err := model.BuildClustered("GPT-1.3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = FullSearchOpts(eng, g, hw.MustLookup("A40"), 128, 4, Options{Cache: evalcache.New(other)})
+	if err == nil {
+		t.Fatal("want error for cache bound to a different engine")
+	}
+}

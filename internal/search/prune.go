@@ -110,29 +110,43 @@ func PrunedSearch(eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch, n 
 
 // PrunedSearchWithNodes is PrunedSearch with explicit placement.
 func PrunedSearchWithNodes(eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch, n, gpusPerNode int, gp *planner.GridPlan) (Outcome, error) {
+	return PrunedSearchOpts(eng, g, spec, globalBatch, n, gp, Options{GPUsPerNode: gpusPerNode})
+}
+
+// PrunedSearchOpts is PrunedSearch with execution options (memoization
+// cache, profiling fan-out, node packing). Sharing one cache between the
+// full and pruned searches of a point reuses every overlapping stage
+// measurement.
+func PrunedSearchOpts(eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch, n int, gp *planner.GridPlan, opts Options) (Outcome, error) {
 	if gp == nil || !gp.Feasible || gp.Proxy == nil {
 		return Outcome{}, fmt.Errorf("search: pruned search needs a feasible grid plan")
 	}
 	if gp.Grid.N != n {
 		return Outcome{}, fmt.Errorf("search: grid is for %d GPUs, searching %d", gp.Grid.N, n)
 	}
-	s := &searcher{eng: eng, graph: g, spec: spec, globalBatch: globalBatch, gpusPerNode: gpusPerNode}
+	s, err := newSearcher(eng, g, spec, globalBatch, opts)
+	if err != nil {
+		return Outcome{}, err
+	}
 	restrict := BuildRestriction(g, spec, gp.Frontier)
 
 	out := s.searchDegree(gp.Grid.S, n, restrict)
 	out.StageEvals = s.stageEvals
 	out.SearchTime = prunedSearchBaseSeconds + float64(s.stageEvals)*stageProfileSeconds
 
-	// Fall back to the proxy plan if the restricted DP found nothing.
+	// Fall back to the proxy plan if the restricted DP found nothing; the
+	// measurement goes through the session cache when one is attached.
 	if out.Plan == nil || !out.Result.Fits {
-		proxy, err := ProxyExecution(eng, g, spec, globalBatch, gpusPerNode, gp)
+		res, err := s.evaluate(gp.Proxy.Plan)
 		if err != nil {
 			return out, err
 		}
-		proxy.StageEvals = out.StageEvals
-		proxy.SearchTime = out.SearchTime
-		proxy.PlanEvals += out.PlanEvals
-		return proxy, nil
+		return Outcome{
+			Plan: gp.Proxy.Plan, Result: res,
+			PlanEvals:  out.PlanEvals + 1,
+			StageEvals: out.StageEvals,
+			SearchTime: out.SearchTime,
+		}, nil
 	}
 	return out, nil
 }

@@ -34,35 +34,48 @@
 //
 // # Quick start
 //
-//	eng := arena.NewEngine(42)
-//	graph := arena.MustBuildModel("GPT-1.3B")
-//	spec := arena.MustGPU("A40")
+// A Session is the one wiring path through the pipeline: it owns the
+// engine, planner, profiler, communication table, stage-measurement cache
+// and performance database, and exposes every stage as a context-aware
+// method.
+//
+//	s, _ := arena.New(arena.WithSeed(42), arena.WithGPUTypes("A40"))
+//	ctx := context.Background()
 //
 //	// Plan a grid (4 GPUs, 2 pipeline stages) without any execution.
-//	pl := arena.NewPlanner()
-//	grid := arena.Grid{
-//		Workload: arena.Workload{Model: "GPT-1.3B", GlobalBatch: 128},
-//		GPUType:  "A40", N: 4, S: 2,
-//	}
-//	gp, _ := pl.PlanGrid(graph, grid)
+//	w := arena.Workload{Model: "GPT-1.3B", GlobalBatch: 128}
+//	gp, _ := s.Plan(ctx, arena.Grid{Workload: w, GPUType: "A40", N: 4, S: 2})
 //
 //	// Measure the proxy plan on the simulated testbed.
-//	res, _ := eng.Evaluate(graph, gp.Proxy.Plan, spec, 128)
+//	graph := arena.MustBuildModel("GPT-1.3B")
+//	res, _ := s.Evaluate(ctx, graph, gp.Proxy.Plan, "A40", 128)
 //	fmt.Printf("%s: %.1f samples/s\n", gp.Proxy.Plan, res.Throughput)
+//
+//	// Or run the whole deployment pipeline (plan → profile → pruned
+//	// search) for a resource in one call:
+//	out, _ := s.Search(ctx, w, "A40", 4)
+//
+// Long-running methods (BuildPerfDB, FullSearch/PrunedSearch/Search,
+// ProfileJob, Simulate) stop promptly when their context is cancelled,
+// returning ctx.Err() without leaking goroutines, and stream progress to
+// the WithProgress callback. Uncancelled, their results are bit-identical
+// to the deprecated package-level free functions they replace.
 //
 // # Performance-database snapshots
 //
 // Building the performance database exercises the planner, profiler and
 // both AP searches for every (workload, GPU type, count) point — by far
 // the most expensive step of a simulator run, and a deterministic
-// function of (seed, options). SavePerfDB/LoadPerfDB persist a built
-// database as a JSON snapshot, and BuildOrLoadPerfDB loads it back when
-// the fingerprint (seed, GPU types, counts, workloads) still matches,
-// skipping the rebuild entirely. The cmd tools expose this as -db-cache:
+// function of (seed, options). WithPerfDBSnapshot persists a built
+// database as a JSON snapshot and loads it back when the fingerprint
+// (seed, GPU types, counts, workloads) still matches, skipping the
+// rebuild entirely. The cmd tools expose this uniformly as -db-cache
+// (alongside the equally uniform -seed and -workers):
 //
-//	arena-sim   -policy all -trace philly -db-cache perfdb.json
-//	arena-bench -fig fig11 -db-cache ./dbcache
-//	arena-plan  -model GPT-1.3B -gpu A40 -n 8 -db-cache plan.json
+//	arena-sim     -policy all -trace philly -db-cache perfdb.json
+//	arena-bench   -fig fig11 -db-cache ./dbcache
+//	arena-plan    -model GPT-1.3B -gpu A40 -n 8 -db-cache plan.json
+//	arena-profile -model WRes-1B -gpu A40 -n 4 -db-cache prof.json
 //
 // See examples/ for runnable programs and cmd/arena-bench for the full
 // reproduction of the paper's evaluation.
@@ -176,6 +189,13 @@ func EnumerateGrids(w Workload, numOps int, gpuTypes []string, maxN int) []Grid 
 	return core.Enumerate(w, numOps, gpuTypes, maxN)
 }
 
+// PipelineDegrees lists the candidate pipeline degrees for n GPUs of a
+// model with numOps clustered operators.
+func PipelineDegrees(n, numOps int) []int { return core.PipelineDegrees(n, numOps) }
+
+// GiB is the byte size the facade reports GPU memory in.
+const GiB = hw.GiB
+
 // --- Planner (§3.3) ---
 
 // Planner is the execution-free load-aware parallelism planner.
@@ -205,6 +225,9 @@ type ProfileEstimate = profiler.Estimate
 type JobProfile = profiler.JobProfile
 
 // SampleComm builds the offline communication table over the engine.
+//
+// Deprecated: use Session.CommTable, which builds and caches the table
+// for the session's GPU types.
 func SampleComm(eng *Engine, gpuTypes []string, maxWorkers int) (*CommTable, error) {
 	return profiler.OfflineSampleComm(eng, gpuTypes, maxWorkers)
 }
@@ -213,6 +236,9 @@ func SampleComm(eng *Engine, gpuTypes []string, maxWorkers int) (*CommTable, err
 func NewProfiler(eng *Engine, ct *CommTable) *Profiler { return profiler.New(eng, ct) }
 
 // ProfileJob plans and profiles every grid of a workload.
+//
+// Deprecated: use Session.ProfileJob, which is cancellable, streams
+// progress, and shares the session's planner and profiler caches.
 func ProfileJob(pl *Planner, pr *Profiler, g *Graph, w Workload, gpuTypes []string, maxN int) (*JobProfile, error) {
 	return profiler.ProfileJob(pl, pr, g, w, gpuTypes, maxN)
 }
@@ -227,21 +253,31 @@ type SearchOutcome = search.Outcome
 type SearchOptions = search.Options
 
 // FullSearch runs the Alpa-style full-space AP search.
+//
+// Deprecated: use Session.FullSearch, which is cancellable and goes
+// through the session's eval cache and worker pool.
 func FullSearch(eng *Engine, g *Graph, spec GPU, globalBatch, n int) (SearchOutcome, error) {
 	return search.FullSearch(eng, g, spec, globalBatch, n)
 }
 
 // FullSearchOpts is FullSearch with execution options.
+//
+// Deprecated: use Session.FullSearch.
 func FullSearchOpts(eng *Engine, g *Graph, spec GPU, globalBatch, n int, opts SearchOptions) (SearchOutcome, error) {
 	return search.FullSearchOpts(eng, g, spec, globalBatch, n, opts)
 }
 
 // PrunedSearch runs Arena's space-pruned AP search for a selected grid.
+//
+// Deprecated: use Session.PrunedSearch (or Session.Search for the whole
+// plan → profile → pruned-search deployment pipeline).
 func PrunedSearch(eng *Engine, g *Graph, spec GPU, globalBatch, n int, gp *GridPlan) (SearchOutcome, error) {
 	return search.PrunedSearch(eng, g, spec, globalBatch, n, gp)
 }
 
 // PrunedSearchOpts is PrunedSearch with execution options.
+//
+// Deprecated: use Session.PrunedSearch.
 func PrunedSearchOpts(eng *Engine, g *Graph, spec GPU, globalBatch, n int, gp *GridPlan, opts SearchOptions) (SearchOutcome, error) {
 	return search.PrunedSearchOpts(eng, g, spec, globalBatch, n, gp, opts)
 }
@@ -312,6 +348,17 @@ var (
 	PAIDay        = trace.PAIDay
 )
 
+// DefaultWorkloads is the trace generator's workload mix — the default
+// coverage of a Session's performance database.
+func DefaultWorkloads() []Workload { return trace.DefaultWorkloads() }
+
+// DirectMeasureCost models the GPU-time bill of measuring a plan directly
+// on its full allocation (the baseline the disaggregated profiler is
+// compared against, §5.5).
+func DirectMeasureCost(res ExecResult, p *Plan, trials int) float64 {
+	return exec.DirectMeasureCost(res, p, trials)
+}
+
 // PerfDB is the performance database all schedulers consult.
 type PerfDB = perfdb.DB
 
@@ -319,17 +366,26 @@ type PerfDB = perfdb.DB
 type PerfDBOptions = perfdb.Options
 
 // BuildPerfDB constructs the database over the engine.
+//
+// Deprecated: use Session.BuildPerfDB, which is cancellable, streams
+// progress, caches the database for the session, and handles snapshots.
 func BuildPerfDB(eng *Engine, opts PerfDBOptions) (*PerfDB, error) { return perfdb.Build(eng, opts) }
 
 // SavePerfDB is db.Save: it writes the database as a JSON snapshot.
+//
+// Deprecated: configure the session with WithPerfDBSnapshot instead.
 func SavePerfDB(db *PerfDB, path string) error { return db.Save(path) }
 
 // LoadPerfDB reads a JSON snapshot back into a usable database.
+//
+// Deprecated: configure the session with WithPerfDBSnapshot instead.
 func LoadPerfDB(path string) (*PerfDB, error) { return perfdb.Load(path) }
 
 // BuildOrLoadPerfDB loads the snapshot at path when it matches the
 // request (seed, GPU types, counts, workloads) and otherwise builds
 // fresh, saving the snapshot for next time. The bool reports a load.
+//
+// Deprecated: use Session.BuildPerfDB with WithPerfDBSnapshot.
 func BuildOrLoadPerfDB(eng *Engine, opts PerfDBOptions, path string) (*PerfDB, bool, error) {
 	return perfdb.BuildOrLoad(eng, opts, path)
 }
@@ -341,6 +397,9 @@ type SimConfig = sim.Config
 type SimResult = sim.Result
 
 // Simulate runs the discrete-event cluster simulation.
+//
+// Deprecated: use Session.Simulate, which is cancellable and fills the
+// database, cluster spec and progress stream from the session.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 
 // Summary aggregates scheduling statistics (JCT, queuing, throughput).

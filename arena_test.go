@@ -2,6 +2,9 @@
 package arena_test
 
 import (
+	"context"
+	"fmt"
+	"reflect"
 	"testing"
 
 	arena "github.com/sjtu-epcc/arena"
@@ -109,4 +112,221 @@ func TestObjectiveConstants(t *testing.T) {
 	if p.Name() != "arena-fair" {
 		t.Errorf("name = %s", p.Name())
 	}
+}
+
+// TestSessionMatchesFreeFunctions asserts the redesign's bit-identity
+// contract: every Session method returns exactly what the deprecated
+// free-function wiring returned for the same inputs.
+func TestSessionMatchesFreeFunctions(t *testing.T) {
+	ctx := context.Background()
+	s, err := arena.New(arena.WithSeed(42), arena.WithGPUTypes("A40"), arena.WithMaxN(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := arena.MustBuildModel("GPT-1.3B")
+	spec := arena.MustGPU("A40")
+	w := arena.Workload{Model: "GPT-1.3B", GlobalBatch: 128}
+
+	// Full search: session (cached, parallel) vs legacy serial reference.
+	eng := arena.NewEngine(42)
+	serial, err := arena.FullSearch(eng, g, spec, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSession, err := s.FullSearch(ctx, g, "A40", 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, viaSession) {
+		t.Errorf("session full search diverged from free function\nfree:    %+v plan %v\nsession: %+v plan %v",
+			serial.Result, serial.Plan, viaSession.Result, viaSession.Plan)
+	}
+
+	// Plan + Evaluate.
+	grid := arena.Grid{Workload: w, GPUType: "A40", N: 4, S: 2}
+	gpFree, err := arena.NewPlanner().PlanGrid(g, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpSess, err := s.Plan(ctx, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gpFree.Proxy.Plan, gpSess.Proxy.Plan) {
+		t.Errorf("session plan diverged: %v vs %v", gpFree.Proxy.Plan, gpSess.Proxy.Plan)
+	}
+	resFree, err := eng.Evaluate(g, gpFree.Proxy.Plan, spec, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSess, err := s.Evaluate(ctx, g, gpSess.Proxy.Plan, "A40", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resFree, resSess) {
+		t.Errorf("session evaluate diverged: %+v vs %+v", resFree, resSess)
+	}
+
+	// ProfileJob: same grids, same estimates, same profiling bill.
+	ct, err := arena.SampleComm(eng, []string{"A40"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpFree, err := arena.ProfileJob(arena.NewPlanner(), arena.NewProfiler(eng, ct), g, w, []string{"A40"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpSess, err := s.ProfileJob(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jpFree.TotalProfileGPUTime != jpSess.TotalProfileGPUTime {
+		t.Errorf("profiling bill diverged: %v vs %v", jpFree.TotalProfileGPUTime, jpSess.TotalProfileGPUTime)
+	}
+	if !reflect.DeepEqual(jpFree.Estimates, jpSess.Estimates) {
+		t.Error("profile estimates diverged")
+	}
+}
+
+// TestSessionSimulateMatchesFreeSimulate covers the database + simulator
+// half of the bit-identity contract.
+func TestSessionSimulateMatchesFreeSimulate(t *testing.T) {
+	ctx := context.Background()
+	spec := arena.ClusterA()
+	w := arena.Workload{Model: "WRes-1B", GlobalBatch: 256}
+	jobs, err := arena.GenerateTrace(arena.TraceConfig{
+		Kind: "philly", Duration: 3600, NumJobs: 12, Seed: 3,
+		GPUTypes: spec.GPUTypes(), MaxGPUs: 8,
+		Workloads: []arena.Workload{w},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbFree, err := arena.BuildPerfDB(arena.NewEngine(42), arena.PerfDBOptions{
+		GPUTypes: spec.GPUTypes(), MaxN: 8, Workloads: []arena.Workload{w},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := arena.Simulate(arena.SimConfig{
+		Spec: spec, Policy: arena.NewArenaPolicy(), Jobs: jobs, DB: dbFree,
+		RoundSeconds: 300, IncludeUnfinished: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := arena.New(
+		arena.WithSeed(42), arena.WithCluster(spec), arena.WithMaxN(8),
+		arena.WithWorkloads(w),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSession, err := s.Simulate(ctx, arena.SimConfig{
+		Policy: arena.NewArenaPolicy(), Jobs: jobs,
+		RoundSeconds: 300, IncludeUnfinished: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(free.Summary, viaSession.Summary) {
+		t.Errorf("session simulation diverged from free function\nfree:    %+v\nsession: %+v",
+			free.Summary, viaSession.Summary)
+	}
+
+	// The session memoizes its database: a second call must return the
+	// same instance.
+	db1, err := s.BuildPerfDB(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := s.BuildPerfDB(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db1 != db2 {
+		t.Error("session rebuilt its performance database")
+	}
+}
+
+// TestSessionCancellation: cancelled contexts abort the session's
+// long-running methods with ctx.Err().
+func TestSessionCancellation(t *testing.T) {
+	w := arena.Workload{Model: "WRes-1B", GlobalBatch: 256}
+	s, err := arena.New(arena.WithSeed(42), arena.WithGPUTypes("A40"), arena.WithMaxN(4),
+		arena.WithWorkloads(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.BuildPerfDB(ctx); err != context.Canceled {
+		t.Errorf("BuildPerfDB: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.Search(ctx, w, "A40", 4); err != context.Canceled {
+		t.Errorf("Search: err = %v, want context.Canceled", err)
+	}
+	g := arena.MustBuildModel("WRes-1B")
+	if _, err := s.FullSearch(ctx, g, "A40", 256, 4); err != context.Canceled {
+		t.Errorf("FullSearch: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.Simulate(ctx, arena.SimConfig{Policy: arena.NewArenaPolicy()}); err != context.Canceled {
+		t.Errorf("Simulate: err = %v, want context.Canceled", err)
+	}
+	// The session is still fully usable after cancelled calls.
+	out, err := s.Search(context.Background(), w, "A40", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Feasible() {
+		t.Error("post-cancel search found no feasible plan")
+	}
+}
+
+func TestSessionSearchRejectsOutOfScopeResource(t *testing.T) {
+	s, err := arena.New(arena.WithSeed(42), arena.WithGPUTypes("A40"), arena.WithMaxN(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := arena.Workload{Model: "WRes-1B", GlobalBatch: 256}
+	if _, err := s.Search(context.Background(), w, "A100", 4); err == nil {
+		t.Error("want error for GPU type outside the session's scope")
+	}
+	if _, err := s.Search(context.Background(), w, "A40", 32); err == nil {
+		t.Error("want error for n beyond the sampled communicator bound")
+	}
+}
+
+func TestSessionRejectsBadOptions(t *testing.T) {
+	if _, err := arena.New(arena.WithGPUTypes("NoSuchGPU")); err == nil {
+		t.Error("want error for unknown GPU type")
+	}
+	if _, err := arena.New(arena.WithMaxN(0)); err == nil {
+		t.Error("want error for MaxN 0")
+	}
+	cache := arena.NewEvalCache(arena.NewEngine(7))
+	if _, err := arena.New(arena.WithSeed(42), arena.WithEvalCache(cache)); err == nil {
+		t.Error("want error for eval cache bound to a different seed")
+	}
+}
+
+// ExampleNew shows the execution-free planner through a Session.
+func ExampleNew() {
+	s, _ := arena.New(arena.WithSeed(42), arena.WithGPUTypes("A40"))
+	w := arena.Workload{Model: "GPT-1.3B", GlobalBatch: 128}
+	gp, _ := s.Plan(context.Background(), arena.Grid{Workload: w, GPUType: "A40", N: 4, S: 2})
+	fmt.Println(gp.Proxy.Plan)
+	// Output: PP2[DP2,DP2]
+}
+
+// ExampleSession_Search runs the whole deployment pipeline — plan every
+// grid, profile the proxies, pruned-search the best grid — in one call.
+func ExampleSession_Search() {
+	s := arena.MustNew(arena.WithSeed(42), arena.WithGPUTypes("A40"), arena.WithMaxN(4))
+	w := arena.Workload{Model: "GPT-1.3B", GlobalBatch: 128}
+	out, _ := s.Search(context.Background(), w, "A40", 4)
+	fmt.Println(out.Plan)
+	// Output: PP2[DP2,DP2]
 }

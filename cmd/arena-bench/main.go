@@ -17,20 +17,23 @@ import (
 	"strings"
 	"time"
 
+	"github.com/sjtu-epcc/arena/internal/cli"
 	"github.com/sjtu-epcc/arena/internal/experiments"
 )
 
 func main() {
 	var (
-		figs    = flag.String("fig", "all", "comma-separated experiment IDs, or 'all'")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		seed    = flag.Uint64("seed", 42, "determinism seed")
-		dbCache = flag.String("db-cache", "", "directory for PerfDB JSON snapshots; repeated runs skip the database rebuild")
+		figs = flag.String("fig", "all", "comma-separated experiment IDs, or 'all'")
+		list = flag.Bool("list", false, "list available experiments and exit")
 	)
+	c := cli.CommonFlags()
 	flag.Parse()
 
-	env := experiments.NewEnv(*seed)
-	env.DBCacheDir = *dbCache
+	env := experiments.NewEnv(c.Seed)
+	env.DBCacheDir = c.DBCache
+	env.Workers = c.Workers
+	env.Ctx = cli.Context()
+	env.SnapshotWarn = cli.WarnSnapshot
 	if *list {
 		for _, ex := range env.Registry() {
 			fmt.Printf("%-10s %s\n", ex.ID, ex.Brief)

@@ -12,14 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"github.com/sjtu-epcc/arena/internal/core"
-	"github.com/sjtu-epcc/arena/internal/exec"
-	"github.com/sjtu-epcc/arena/internal/hw"
-	"github.com/sjtu-epcc/arena/internal/model"
-	"github.com/sjtu-epcc/arena/internal/perfdb"
-	"github.com/sjtu-epcc/arena/internal/planner"
+	arena "github.com/sjtu-epcc/arena"
+	"github.com/sjtu-epcc/arena/internal/cli"
 )
 
 func main() {
@@ -31,32 +26,37 @@ func main() {
 		s         = flag.Int("s", 0, "pipeline degree; 0 = enumerate all grids")
 		frontier  = flag.Bool("frontier", false, "print the Pareto frontier per grid")
 		measure   = flag.Bool("measure", true, "measure proxy plans on the simulated testbed")
-		seed      = flag.Uint64("seed", 42, "determinism seed")
 		models    = flag.Bool("models", false, "list model variants and exit")
-		dbCache   = flag.String("db-cache", "", "PerfDB JSON snapshot path: print the searched AP optimum vs Arena's deployed plan for this point, building (and saving) the database only when the snapshot is missing or stale")
 	)
+	c := cli.CommonFlags()
 	flag.Parse()
+	ctx := cli.Context()
 
 	if *models {
-		for _, name := range model.Names() {
+		for _, name := range arena.ModelNames() {
 			fmt.Println(name)
 		}
 		return
 	}
 
-	g, err := model.BuildClustered(*modelName)
+	g, err := arena.BuildModel(*modelName)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
-	spec, err := hw.Lookup(*gpu)
+	w := arena.Workload{Model: *modelName, GlobalBatch: *batch}
+	sess, err := arena.New(
+		arena.WithSeed(c.Seed),
+		arena.WithWorkers(c.Workers),
+		arena.WithGPUTypes(*gpu),
+		arena.WithMaxN(*n),
+		arena.WithWorkloads(w),
+		arena.WithPerfDBSnapshot(c.DBCache),
+	)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
-	w := model.Workload{Model: *modelName, GlobalBatch: *batch}
-	eng := exec.NewEngine(*seed)
-	pl := planner.New()
 
-	degrees := core.PipelineDegrees(*n, len(g.Ops))
+	degrees := arena.PipelineDegrees(*n, len(g.Ops))
 	if *s > 0 {
 		degrees = []int{*s}
 	}
@@ -64,10 +64,10 @@ func main() {
 		*modelName, *batch, g.Params()/1e9, *n, *gpu)
 
 	for _, deg := range degrees {
-		grid := core.Grid{Workload: w, GPUType: *gpu, N: *n, S: deg}
-		gp, err := pl.PlanGrid(g, grid)
+		grid := arena.Grid{Workload: w, GPUType: *gpu, N: *n, S: deg}
+		gp, err := sess.Plan(ctx, grid)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		if !gp.Feasible {
 			fmt.Printf("grid s=%d: infeasible (no partition fits %s memory)\n", deg, *gpu)
@@ -77,35 +77,22 @@ func main() {
 			deg, gp.Proxy.Plan, gp.Proxy.BComp, gp.Proxy.LComm,
 			gp.CandidatesEvaluated, len(gp.Frontier))
 		if *measure {
-			res, err := eng.Evaluate(g, gp.Proxy.Plan, spec, *batch)
+			res, err := sess.Evaluate(ctx, g, gp.Proxy.Plan, *gpu, *batch)
 			if err == nil && res.Fits {
 				fmt.Printf("          measured: %.3fs/iter, %.1f samples/s, peak mem %.1f GB\n",
-					res.IterTime, res.Throughput, res.MaxMem/hw.GiB)
+					res.IterTime, res.Throughput, res.MaxMem/arena.GiB)
 			}
 		}
 		if *frontier {
-			for i, c := range gp.Frontier {
+			for i, cand := range gp.Frontier {
 				fmt.Printf("          frontier[%d]: %-24s b_comp=%.3f l_comm=%.4fs ops=%v gpus=%v\n",
-					i, c.Plan, c.BComp, c.LComm, c.OpsPerStage, c.GPUsPerStage)
+					i, cand.Plan, cand.BComp, cand.LComm, cand.OpsPerStage, cand.GPUsPerStage)
 			}
 		}
 	}
 
-	if *dbCache != "" {
-		db, loaded, err := perfdb.BuildOrLoad(eng, perfdb.Options{
-			Seed: *seed, GPUTypes: []string{*gpu}, MaxN: *n,
-			Workloads: []model.Workload{w},
-		}, *dbCache)
-		if err != nil {
-			if db == nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "arena-plan: warning: %v (continuing with the built database)\n", err)
-		}
-		src := "searched"
-		if loaded {
-			src = "snapshot"
-		}
+	if c.DBCache != "" {
+		db, src := cli.BuildDB(ctx, sess)
 		if e, ok := db.Entry(w, *gpu, *n); ok {
 			fmt.Printf("\nperfdb (%s): AP optimum %-12s %8.1f samples/s (full search %.0fs)\n",
 				src, e.APPlan, e.APThr, e.SearchTimeFull)
@@ -115,9 +102,4 @@ func main() {
 			fmt.Printf("\nperfdb (%s): no entry for n=%d (the database holds power-of-two GPU counts only)\n", src, *n)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "arena-plan:", err)
-	os.Exit(1)
 }

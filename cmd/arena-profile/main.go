@@ -13,14 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"github.com/sjtu-epcc/arena/internal/core"
-	"github.com/sjtu-epcc/arena/internal/exec"
-	"github.com/sjtu-epcc/arena/internal/hw"
-	"github.com/sjtu-epcc/arena/internal/model"
-	"github.com/sjtu-epcc/arena/internal/planner"
-	"github.com/sjtu-epcc/arena/internal/profiler"
+	arena "github.com/sjtu-epcc/arena"
+	"github.com/sjtu-epcc/arena/internal/cli"
 )
 
 func main() {
@@ -30,41 +25,50 @@ func main() {
 		gpu       = flag.String("gpu", "A40", "GPU type")
 		n         = flag.Int("n", 4, "allocated GPU count")
 		s         = flag.Int("s", 0, "pipeline degree; 0 = all grids")
-		seed      = flag.Uint64("seed", 42, "determinism seed")
 	)
+	c := cli.CommonFlags()
 	flag.Parse()
+	ctx := cli.Context()
 
-	g, err := model.BuildClustered(*modelName)
+	g, err := arena.BuildModel(*modelName)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
-	spec, err := hw.Lookup(*gpu)
+	w := arena.Workload{Model: *modelName, GlobalBatch: *batch}
+	sess, err := arena.New(
+		arena.WithSeed(c.Seed),
+		arena.WithWorkers(c.Workers),
+		arena.WithGPUTypes(*gpu),
+		arena.WithMaxN(*n),
+		arena.WithWorkloads(w),
+		arena.WithPerfDBSnapshot(c.DBCache),
+	)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
-	eng := exec.NewEngine(*seed)
 
 	fmt.Printf("offline-sampling communication primitives for %s...\n", *gpu)
-	ct, err := profiler.OfflineSampleComm(eng, []string{*gpu}, 16)
+	ct, err := sess.CommTable(ctx)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	fmt.Printf("  %d (primitive, topology) tables, modeled one-shot cost %.1fh\n\n",
 		len(ct.Keys()), ct.OfflineCostSeconds/3600)
 
-	pl := planner.New()
-	pr := profiler.New(eng, ct)
-	w := model.Workload{Model: *modelName, GlobalBatch: *batch}
+	pr, err := sess.Profiler(ctx)
+	if err != nil {
+		cli.Fatal(err)
+	}
 
-	degrees := core.PipelineDegrees(*n, len(g.Ops))
+	degrees := arena.PipelineDegrees(*n, len(g.Ops))
 	if *s > 0 {
 		degrees = []int{*s}
 	}
 	fmt.Printf("profiling %s (batch %d) on %dx%s with a single profiling GPU\n\n", *modelName, *batch, *n, *gpu)
 	for _, deg := range degrees {
-		gp, err := pl.PlanGrid(g, core.Grid{Workload: w, GPUType: *gpu, N: *n, S: deg})
+		gp, err := sess.Plan(ctx, arena.Grid{Workload: w, GPUType: *gpu, N: *n, S: deg})
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		if !gp.Feasible {
 			fmt.Printf("s=%d: infeasible\n", deg)
@@ -72,22 +76,25 @@ func main() {
 		}
 		est, err := pr.ProfileGridPlan(g, gp)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
-		res, err := eng.Evaluate(g, gp.Proxy.Plan, spec, *batch)
+		res, err := sess.Evaluate(ctx, g, gp.Proxy.Plan, *gpu, *batch)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
-		oracle := exec.DirectMeasureCost(res, gp.Proxy.Plan, pr.Trials)
+		oracle := arena.DirectMeasureCost(res, gp.Proxy.Plan, pr.Trials)
 		errPct := 100 * (est.IterTime - res.IterTime) / res.IterTime
 		fmt.Printf("s=%d plan %-24s estimated %.3fs/iter, measured %.3fs/iter (err %+.1f%%)\n",
 			deg, gp.Proxy.Plan, est.IterTime, res.IterTime, errPct)
 		fmt.Printf("     profiling cost %.1f GPU*s (%d/%d unique ops) vs direct measurement %.1f GPU*s => %.1fx cheaper\n",
 			est.ProfileGPUTime, est.UniqueOps, est.TotalOps, oracle, oracle/est.ProfileGPUTime)
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "arena-profile:", err)
-	os.Exit(1)
+	if c.DBCache != "" {
+		db, src := cli.BuildDB(ctx, sess)
+		if e, ok := db.Entry(w, *gpu, *n); ok {
+			fmt.Printf("\nperfdb (%s): profiler estimate %8.1f samples/s vs deployed plan %-12s %8.1f samples/s\n",
+				src, e.ArenaEstThr, e.ArenaPlan, e.ArenaActualThr)
+		}
+	}
 }

@@ -4,24 +4,18 @@
 // Usage:
 //
 //	arena-sim -policy arena -trace philly -cluster sim -jobs 3000
-//	arena-sim -policy all -trace philly -cluster a
-//	arena-sim -policy sia -trace pai -cluster sim -jobs 450
+//	arena-sim -policy all -trace philly -cluster a -db-cache perfdb.json
+//	arena-sim -policy sia -trace pai -cluster sim -jobs 450 -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
-	"github.com/sjtu-epcc/arena/internal/exec"
-	"github.com/sjtu-epcc/arena/internal/hw"
+	arena "github.com/sjtu-epcc/arena"
+	"github.com/sjtu-epcc/arena/internal/cli"
 	"github.com/sjtu-epcc/arena/internal/metrics"
-	"github.com/sjtu-epcc/arena/internal/perfdb"
-	"github.com/sjtu-epcc/arena/internal/sched"
-	"github.com/sjtu-epcc/arena/internal/sched/policy"
-	"github.com/sjtu-epcc/arena/internal/sim"
-	"github.com/sjtu-epcc/arena/internal/trace"
 )
 
 func main() {
@@ -31,61 +25,65 @@ func main() {
 		clusterName = flag.String("cluster", "sim", "a|b|sim|b-homogeneous")
 		jobs        = flag.Int("jobs", 0, "job count (0 = per-trace default)")
 		scale       = flag.Float64("scale", 12, "job lifespan scale")
-		seed        = flag.Uint64("seed", 42, "determinism seed")
 		rounds      = flag.Int("rounds", 0, "max scheduling rounds (0 = auto)")
-		dbCache     = flag.String("db-cache", "", "PerfDB JSON snapshot path: load when valid, write after a fresh build")
 	)
+	c := cli.CommonFlags()
 	flag.Parse()
+	ctx := cli.Context()
 
-	spec, err := pickCluster(*clusterName)
+	spec, err := cli.PickCluster(*clusterName)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	types := spec.GPUTypes()
 
-	cfg, err := pickTrace(*traceKind, *seed, types, *jobs)
+	cfg, err := cli.PickTrace(*traceKind, c.Seed, types, *jobs)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	cfg.LifespanScale = *scale
-	traceJobs, err := trace.Generate(cfg)
+	traceJobs, err := arena.GenerateTrace(cfg)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
+	}
+
+	sess, err := arena.New(
+		arena.WithSeed(c.Seed),
+		arena.WithWorkers(c.Workers),
+		arena.WithCluster(spec),
+		arena.WithMaxN(16),
+		arena.WithWorkloads(arena.DefaultWorkloads()...),
+		arena.WithPerfDBSnapshot(c.DBCache),
+	)
+	if err != nil {
+		cli.Fatal(err)
 	}
 
 	fmt.Printf("building performance database for %v (this exercises the planner, profiler and AP searches)...\n", types)
 	start := time.Now()
-	db, loaded, err := perfdb.BuildOrLoad(exec.NewEngine(*seed), perfdb.Options{
-		Seed: *seed, GPUTypes: types, MaxN: 16,
-		Workloads: trace.DefaultWorkloads(),
-	}, *dbCache)
-	if err != nil {
-		if db == nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "arena-sim: warning: %v (continuing with the built database)\n", err)
-	}
-	if loaded {
-		fmt.Printf("  %d entries loaded from snapshot %s in %v\n\n", len(db.Keys()), *dbCache, time.Since(start).Round(time.Millisecond))
+	db, err := sess.BuildPerfDB(ctx)
+	cli.ReportDB(db, err)
+	if sess.PerfDBFromSnapshot() {
+		fmt.Printf("  %d entries loaded from snapshot %s in %v\n\n", len(db.Keys()), c.DBCache, time.Since(start).Round(time.Millisecond))
 	} else {
 		fmt.Printf("  %d entries in %v\n\n", len(db.Keys()), time.Since(start).Round(time.Millisecond))
 	}
 
 	pols, err := pickPolicies(*policyName)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	window := int(cfg.Duration / 300)
 	fmt.Printf("%-16s %10s %10s %10s %10s %8s %9s\n",
 		"policy", "avgJCT(s)", "avgQ(s)", "avgThr", "peakThr", "finished", "resched")
 	for _, p := range pols {
-		res, err := sim.Run(sim.Config{
-			Spec: spec, Policy: p, Jobs: traceJobs, DB: db,
+		res, err := sess.Simulate(ctx, arena.SimConfig{
+			Policy: p, Jobs: traceJobs,
 			RoundSeconds: 300, MaxRounds: pick(*rounds, 2*window+576),
-			IncludeUnfinished: true, Seed: *seed,
+			IncludeUnfinished: true, Seed: c.Seed,
 		})
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		series := res.ThroughputSeries
 		if len(series) > window {
@@ -98,59 +96,22 @@ func main() {
 	}
 }
 
-func pickCluster(name string) (hw.ClusterSpec, error) {
-	switch name {
-	case "a":
-		return hw.ClusterA(), nil
-	case "b":
-		return hw.ClusterB(), nil
-	case "sim":
-		return hw.ClusterSim(), nil
-	case "b-homogeneous":
-		return hw.ClusterBHomogeneous(), nil
-	default:
-		return hw.ClusterSpec{}, fmt.Errorf("unknown cluster %q", name)
-	}
-}
-
-func pickTrace(kind string, seed uint64, types []string, jobs int) (trace.Config, error) {
-	switch kind {
-	case "philly":
-		if jobs == 0 {
-			jobs = 3000
-		}
-		return trace.PhillyWeek(seed, types, jobs), nil
-	case "helios":
-		if jobs == 0 {
-			jobs = 900
-		}
-		return trace.HeliosDay(seed, types, jobs), nil
-	case "pai":
-		if jobs == 0 {
-			jobs = 450
-		}
-		return trace.PAIDay(seed, types, jobs), nil
-	default:
-		return trace.Config{}, fmt.Errorf("unknown trace %q", kind)
-	}
-}
-
-func pickPolicies(name string) ([]sched.Policy, error) {
+func pickPolicies(name string) ([]arena.Policy, error) {
 	switch name {
 	case "fcfs":
-		return []sched.Policy{policy.NewFCFS()}, nil
+		return []arena.Policy{arena.NewFCFS()}, nil
 	case "gavel":
-		return []sched.Policy{policy.NewGavel()}, nil
+		return []arena.Policy{arena.NewGavel()}, nil
 	case "elasticflow":
-		return []sched.Policy{policy.NewElasticFlow()}, nil
+		return []arena.Policy{arena.NewElasticFlow()}, nil
 	case "sia":
-		return []sched.Policy{policy.NewSia()}, nil
+		return []arena.Policy{arena.NewSia()}, nil
 	case "arena":
-		return []sched.Policy{sched.NewArena()}, nil
+		return []arena.Policy{arena.NewArenaPolicy()}, nil
 	case "all":
-		return []sched.Policy{
-			policy.NewFCFS(), policy.NewGavel(), policy.NewElasticFlow(),
-			policy.NewSia(), sched.NewArena(),
+		return []arena.Policy{
+			arena.NewFCFS(), arena.NewGavel(), arena.NewElasticFlow(),
+			arena.NewSia(), arena.NewArenaPolicy(),
 		}, nil
 	default:
 		return nil, fmt.Errorf("unknown policy %q", name)
@@ -162,9 +123,4 @@ func pick(v, def int) int {
 		return v
 	}
 	return def
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "arena-sim:", err)
-	os.Exit(1)
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,12 +15,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	spec := arena.ClusterA()
-	types := spec.GPUTypes()
 
 	cfg := arena.TraceConfig{
 		Kind: "philly", Duration: 3 * 3600, NumJobs: 100, Seed: 7,
-		GPUTypes: types, MaxGPUs: 16,
+		GPUTypes: spec.GPUTypes(), MaxGPUs: 16,
 		DeadlineFraction: 0.7, // §5.6: most jobs carry deadlines
 	}
 	jobs, err := arena.GenerateTrace(cfg)
@@ -27,9 +28,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	db, err := arena.BuildPerfDB(arena.NewEngine(42), arena.PerfDBOptions{
-		GPUTypes: types, MaxN: 16,
-	})
+	s, err := arena.New(
+		arena.WithSeed(42),
+		arena.WithCluster(spec),
+		arena.WithMaxN(16),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,8 +43,8 @@ func main() {
 	arenaDDL.Objective = arena.ObjDeadline
 
 	for _, p := range []arena.Policy{arena.NewElasticFlow(), arenaDDL} {
-		res, err := arena.Simulate(arena.SimConfig{
-			Spec: spec, Policy: p, Jobs: jobs, DB: db,
+		res, err := s.Simulate(ctx, arena.SimConfig{
+			Policy: p, Jobs: jobs,
 			RoundSeconds: 300, IncludeUnfinished: true, Seed: 1,
 		})
 		if err != nil {

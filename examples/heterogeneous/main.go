@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,8 +30,11 @@ func poolLabel(pool arena.HeteroPool) string {
 }
 
 func main() {
-	eng := arena.NewEngine(42)
-	pl := arena.NewPlanner()
+	ctx := context.Background()
+	s, err := arena.New(arena.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
 	g := arena.MustBuildModel("GPT-2.6B")
 	const gb = 128
 
@@ -43,12 +47,12 @@ func main() {
 	}
 	for _, pool := range pools {
 		label := poolLabel(pool)
-		plan, err := arena.PlanHetero(pl, g, pool, 2, gb)
+		plan, err := s.PlanHetero(ctx, g, pool, 2, gb)
 		if err != nil {
 			fmt.Printf("  %-20s infeasible: %v\n", label, err)
 			continue
 		}
-		res, err := eng.EvaluateHetero(g, plan, gb)
+		res, err := s.EvaluateHetero(ctx, g, plan, gb)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -2,10 +2,15 @@
 // GPU counts, types, and interconnects — the phenomenon behind Fig. 2 of
 // the paper and the reason static-parallelism scheduling misallocates.
 //
+// One arena.Session serves every search below: its shared
+// stage-measurement cache means a candidate measured for the 4-GPU
+// search is reused verbatim by the 8- and 16-GPU ones.
+//
 //	go run ./examples/parallelism
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,7 +18,11 @@ import (
 )
 
 func main() {
-	eng := arena.NewEngine(42)
+	ctx := context.Background()
+	s, err := arena.New(arena.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("=== Scaling the GPU count (A40) ===")
 	for _, m := range []struct {
@@ -25,7 +34,7 @@ func main() {
 		graph := arena.MustBuildModel(m.name)
 		fmt.Printf("%-10s:", m.name)
 		for _, n := range []int{1, 2, 4, 8, 16} {
-			out, err := arena.FullSearch(eng, graph, arena.MustGPU("A40"), m.gb, n)
+			out, err := s.FullSearch(ctx, graph, "A40", m.gb, n)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -48,7 +57,7 @@ func main() {
 		graph := arena.MustBuildModel(m.name)
 		fmt.Printf("%-10s:", m.name)
 		for _, typ := range []string{"V100", "A100", "A40", "H100"} {
-			out, err := arena.FullSearch(eng, graph, arena.MustGPU(typ), m.gb, 4)
+			out, err := s.FullSearch(ctx, graph, typ, m.gb, 4)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -68,7 +77,7 @@ func main() {
 		fmt.Printf("%-10s on A40:", name)
 		for _, n := range []int{1, 2, 4, 8} {
 			_, dpFits := arena.PlanMemory(graph, arena.PureDP(graph, n), spec, 128)
-			out, err := arena.FullSearch(eng, graph, spec, 128, n)
+			out, err := s.FullSearch(ctx, graph, "A40", 128, n)
 			if err != nil {
 				log.Fatal(err)
 			}

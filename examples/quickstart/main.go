@@ -1,16 +1,17 @@
 // Quickstart: plan, profile, and execute one large-model training job.
 //
 // This walks the full Arena pipeline for a single job on a fixed
-// allocation (4×A40): the execution-free planner shards the joint space
-// into grids and picks a proxy plan per pipeline degree (§3.3), the
-// disaggregated profiler estimates each proxy on a single device (§3.4),
-// the best grid drives the space-pruned AP search (§3.6), and the
-// simulated testbed measures the deployed plan.
+// allocation (4×A40) through one arena.Session: the execution-free
+// planner shards the joint space into grids and picks a proxy plan per
+// pipeline degree (§3.3), the disaggregated profiler estimates each proxy
+// on a single device (§3.4), the best grid drives the space-pruned AP
+// search (§3.6), and the simulated testbed measures the deployed plan.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,32 +25,35 @@ func main() {
 		gpuType     = "A40"
 		numGPUs     = 4
 	)
+	ctx := context.Background()
 
-	eng := arena.NewEngine(42)
+	// One Session owns the engine, planner, profiler, comm table and
+	// eval cache — every method below shares them.
+	s, err := arena.New(
+		arena.WithSeed(42),
+		arena.WithGPUTypes(gpuType),
+		arena.WithMaxN(numGPUs),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	graph := arena.MustBuildModel(modelName)
-	spec := arena.MustGPU(gpuType)
 	w := arena.Workload{Model: modelName, GlobalBatch: globalBatch}
 
 	fmt.Printf("model %s: %.2fB params, %.2f TFLOPs/sample forward, %d clustered operators\n\n",
 		modelName, graph.Params()/1e9, graph.FwdFLOPs()/1e12, len(graph.Ops))
 
-	// 1. Offline: sample communication primitives once per cluster.
-	comm, err := arena.SampleComm(eng, []string{gpuType}, 16)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 2. Plan + profile every grid of the job (all pipeline degrees).
-	planner := arena.NewPlanner()
-	prof := arena.NewProfiler(eng, comm)
-	jobProfile, err := arena.ProfileJob(planner, prof, graph, w, []string{gpuType}, numGPUs)
+	// 1. Plan + profile every grid of the job (all pipeline degrees).
+	// The session samples the communication table lazily on first use.
+	jobProfile, err := s.ProfileJob(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("profiled %d feasible grids at a total single-GPU cost of %.1f GPU-seconds\n",
 		len(jobProfile.Estimates), jobProfile.TotalProfileGPUTime)
 
-	// 3. The scheduler-side query: best grid for this resource.
+	// 2. The scheduler-side query: best grid for this resource.
 	resource := arena.Resource{GPUType: gpuType, N: numGPUs}
 	bestGrid, ok := jobProfile.BestGrid(resource)
 	if !ok {
@@ -59,8 +63,8 @@ func main() {
 	fmt.Printf("best grid: %v -> proxy %s, estimated %.1f samples/s\n",
 		bestGrid, est.Plan, est.Throughput)
 
-	// 4. Deployment: space-pruned AP search seeded by the grid's frontier.
-	outcome, err := arena.PrunedSearch(eng, graph, spec, globalBatch, numGPUs,
+	// 3. Deployment: space-pruned AP search seeded by the grid's frontier.
+	outcome, err := s.PrunedSearch(ctx, graph, gpuType, globalBatch, numGPUs,
 		jobProfile.GridPlans[bestGrid])
 	if err != nil {
 		log.Fatal(err)
@@ -68,8 +72,8 @@ func main() {
 	fmt.Printf("pruned search: plan %s in %.0f modeled seconds (%d stage candidates)\n",
 		outcome.Plan, outcome.SearchTime, outcome.StageEvals)
 
-	// 5. Compare against the full-space (Alpa-style) search.
-	full, err := arena.FullSearch(eng, graph, spec, globalBatch, numGPUs)
+	// 4. Compare against the full-space (Alpa-style) search.
+	full, err := s.FullSearch(ctx, graph, gpuType, globalBatch, numGPUs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,8 +83,8 @@ func main() {
 		100*outcome.Result.Throughput/full.Result.Throughput,
 		full.SearchTime/outcome.SearchTime)
 
-	// 6. And the static-parallelism contrast that motivates it all (§2.2).
-	dp, err := eng.Evaluate(graph, arena.PureDP(graph, numGPUs), spec, globalBatch)
+	// 5. And the static-parallelism contrast that motivates it all (§2.2).
+	dp, err := s.Evaluate(ctx, graph, arena.PureDP(graph, numGPUs), gpuType, globalBatch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,6 +93,6 @@ func main() {
 			dp.Throughput, 100*dp.Throughput/outcome.Result.Throughput)
 	} else {
 		fmt.Printf("pure data parallelism does not even fit %s memory (needs %.0f GB)\n",
-			gpuType, dp.MaxMem/(1<<30))
+			gpuType, dp.MaxMem/arena.GiB)
 	}
 }

@@ -2,10 +2,15 @@
 // heterogeneous cluster (the paper's Cluster-A, 32×A40 + 32×A10) with a
 // bursty 3-hour trace — a miniature of the §5.2 testbed evaluation.
 //
+// The session builds the performance database once (streaming progress
+// while the planner, profiler and AP searches run) and every policy's
+// simulation reuses it.
+//
 //	go run ./examples/scheduling
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -14,13 +19,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	spec := arena.ClusterA()
-	types := spec.GPUTypes()
 
 	// Synthesize a bursty Philly-shaped trace.
 	cfg := arena.TraceConfig{
 		Kind: "philly", Duration: 3 * 3600, NumJobs: 120, Seed: 42,
-		GPUTypes: types, MaxGPUs: 16,
+		GPUTypes: spec.GPUTypes(), MaxGPUs: 16,
 	}
 	jobs, err := arena.GenerateTrace(cfg)
 	if err != nil {
@@ -29,14 +34,28 @@ func main() {
 
 	// The performance database exercises the whole stack: planner,
 	// profiler, full and pruned AP searches, for every workload the trace
-	// can draw.
-	fmt.Println("building the performance database (planner + profiler + AP searches)...")
-	db, err := arena.BuildPerfDB(arena.NewEngine(42), arena.PerfDBOptions{
-		GPUTypes: types, MaxN: 16,
-	})
+	// can draw. WithProgress streams one event per (workload, type, count)
+	// point as it lands.
+	points := 0
+	s, err := arena.New(
+		arena.WithSeed(42),
+		arena.WithCluster(spec),
+		arena.WithMaxN(16),
+		arena.WithProgress(func(e arena.ProgressEvent) {
+			if e.Step == "perfdb.build" {
+				points = e.Done
+			}
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	fmt.Println("building the performance database (planner + profiler + AP searches)...")
+	if _, err := s.BuildPerfDB(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d (workload, type, count) points built\n", points)
 
 	policies := []arena.Policy{
 		arena.NewFCFS(), arena.NewGavel(), arena.NewElasticFlow(),
@@ -48,8 +67,8 @@ func main() {
 	fmt.Println(strings.Repeat("-", 76))
 	var fcfsJCT float64
 	for _, p := range policies {
-		res, err := arena.Simulate(arena.SimConfig{
-			Spec: spec, Policy: p, Jobs: jobs, DB: db,
+		res, err := s.Simulate(ctx, arena.SimConfig{
+			Policy: p, Jobs: jobs,
 			RoundSeconds: 300, IncludeUnfinished: true, Seed: 1,
 		})
 		if err != nil {

@@ -1,0 +1,140 @@
+// Package cli holds the plumbing shared by the four arena command-line
+// tools (arena-sim, arena-bench, arena-plan, arena-profile): the common
+// -seed/-workers/-db-cache flags, cluster and trace pickers, a
+// signal-aware root context, and one error/warning path so every tool
+// reports failures in the same format.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	arena "github.com/sjtu-epcc/arena"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
+	"github.com/sjtu-epcc/arena/internal/trace"
+)
+
+// Common carries the flags every arena tool spells identically.
+type Common struct {
+	// Seed is the determinism seed (-seed).
+	Seed uint64
+	// Workers bounds profiling/search/build worker pools; 0 = all cores
+	// (-workers).
+	Workers int
+	// DBCache is the PerfDB snapshot path — a JSON file, or a directory
+	// for arena-bench (-db-cache).
+	DBCache string
+}
+
+// CommonFlags registers the shared flag set on flag.CommandLine. Call
+// before flag.Parse.
+func CommonFlags() *Common {
+	c := &Common{}
+	flag.Uint64Var(&c.Seed, "seed", 42, "determinism seed")
+	flag.IntVar(&c.Workers, "workers", 0, "worker goroutines for profiling/search/build fan-out (0 = all cores)")
+	flag.StringVar(&c.DBCache, "db-cache", "", "PerfDB JSON snapshot path (arena-bench: directory): load when valid, write after a fresh build")
+	return c
+}
+
+// Tool returns the running tool's name for message prefixes.
+func Tool() string { return filepath.Base(os.Args[0]) }
+
+// Fatal prints "<tool>: <err>" to stderr and exits 1.
+func Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", Tool(), err)
+	os.Exit(1)
+}
+
+// WarnSnapshot prints the uniform snapshot-persistence warning: the
+// database was built fine, only the cross-run cache write failed.
+func WarnSnapshot(err error) {
+	fmt.Fprintf(os.Stderr, "%s: warning: %v (continuing with the built database)\n", Tool(), err)
+}
+
+// ReportDB funnels every tool's BuildPerfDB outcome through one policy:
+// nil error passes, a snapshot persistence failure on a usable database
+// warns and continues, anything else is fatal.
+func ReportDB(db *perfdb.DB, err error) {
+	if err == nil {
+		return
+	}
+	var snapErr *perfdb.SnapshotError
+	if db != nil && errors.As(err, &snapErr) {
+		WarnSnapshot(err)
+		return
+	}
+	Fatal(err)
+}
+
+// BuildDB builds (or snapshot-loads) the session's performance database,
+// funnels the outcome through ReportDB, and labels the source the way the
+// tools print it ("snapshot" vs "searched").
+func BuildDB(ctx context.Context, sess *arena.Session) (*perfdb.DB, string) {
+	db, err := sess.BuildPerfDB(ctx)
+	ReportDB(db, err)
+	if sess.PerfDBFromSnapshot() {
+		return db, "snapshot"
+	}
+	return db, "searched"
+}
+
+// Context returns the tool's root context, cancelled on SIGINT/SIGTERM so
+// a ^C aborts in-flight database builds and searches promptly instead of
+// killing the process mid-write. After the first signal the registration
+// is dropped, so a second ^C terminates the process the default way even
+// if some code path ignores the cancellation.
+func Context() context.Context {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx
+}
+
+// PickCluster resolves the -cluster flag spelling shared by the tools.
+func PickCluster(name string) (hw.ClusterSpec, error) {
+	switch name {
+	case "a":
+		return hw.ClusterA(), nil
+	case "b":
+		return hw.ClusterB(), nil
+	case "sim":
+		return hw.ClusterSim(), nil
+	case "b-homogeneous":
+		return hw.ClusterBHomogeneous(), nil
+	default:
+		return hw.ClusterSpec{}, fmt.Errorf("unknown cluster %q", name)
+	}
+}
+
+// PickTrace resolves the -trace flag spelling shared by the tools,
+// applying each trace's default job count when jobs is 0.
+func PickTrace(kind string, seed uint64, types []string, jobs int) (trace.Config, error) {
+	switch kind {
+	case "philly":
+		if jobs == 0 {
+			jobs = 3000
+		}
+		return trace.PhillyWeek(seed, types, jobs), nil
+	case "helios":
+		if jobs == 0 {
+			jobs = 900
+		}
+		return trace.HeliosDay(seed, types, jobs), nil
+	case "pai":
+		if jobs == 0 {
+			jobs = 450
+		}
+		return trace.PAIDay(seed, types, jobs), nil
+	default:
+		return trace.Config{}, fmt.Errorf("unknown trace %q", kind)
+	}
+}

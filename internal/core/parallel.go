@@ -1,23 +1,44 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // ParallelFor runs fn(i) for every i in [0, n) on up to `workers`
 // goroutines, blocking until all complete. workers <= 1 (or n < 2) runs
 // inline on the caller's goroutine. fn must be safe to call concurrently
 // and must not panic across iterations it wants completed.
 func ParallelFor(n, workers int, fn func(i int)) {
+	_ = ParallelForCtx(context.Background(), n, workers, fn)
+}
+
+// ParallelForCtx is ParallelFor with cooperative cancellation: once ctx is
+// cancelled no further iterations start, in-flight iterations finish, and
+// the call returns ctx.Err(). Iterations that never started are simply
+// skipped — callers must treat a non-nil return as "results incomplete".
+// All worker goroutines are joined before returning, cancelled or not, so
+// the pool cannot leak. With a background (never-cancelled) context the
+// iteration set and ordering are identical to ParallelFor.
+func ParallelForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
+	done := ctx.Done()
 	wg.Add(workers)
 	for k := 0; k < workers; k++ {
 		go func() {
@@ -27,9 +48,18 @@ func ParallelFor(n, workers int, fn func(i int)) {
 			}
 		}()
 	}
+	// The channel is unbuffered, so a cancelled send means the index never
+	// reached a worker: stopping here stops the whole remaining range
+	// within one scheduling quantum of the pool.
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }

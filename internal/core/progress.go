@@ -1,0 +1,29 @@
+package core
+
+// Event is one progress report from a long-running pipeline step
+// (performance-database builds, AP searches, job profiling, simulation
+// rounds). Steps emit an event per completed unit of work so callers can
+// observe — and decide to cancel — builds and searches mid-flight.
+type Event struct {
+	// Step names the pipeline stage, e.g. "perfdb.build", "search.full",
+	// "profile.job", "sim.round".
+	Step string
+	// Item identifies the unit just completed, e.g. "GPT-1.3B@128/A40/n=8".
+	Item string
+	// Done and Total count completed units out of the step's known total
+	// (Total is 0 when the step cannot predict it).
+	Done, Total int
+}
+
+// ProgressFunc receives progress events. Steps that fan out over worker
+// pools may call it concurrently from multiple goroutines; implementations
+// must be safe for that (or be wrapped, as arena.Session does). A nil
+// ProgressFunc is always allowed and disables reporting.
+type ProgressFunc func(Event)
+
+// Emit calls the function when non-nil — the universal nil-safe call site.
+func (p ProgressFunc) Emit(step, item string, done, total int) {
+	if p != nil {
+		p(Event{Step: step, Item: item, Done: done, Total: total})
+	}
+}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -88,6 +89,20 @@ type Env struct {
 	// runs, skipping the rebuild entirely.
 	DBCacheDir string
 
+	// Ctx, when non-nil, cancels in-flight database builds: experiments
+	// observe it through Env.DB. (A field rather than a parameter because
+	// the Experiment.Run registry signature predates cancellation.)
+	Ctx context.Context
+
+	// Workers caps database-build worker pools; 0 = all cores.
+	Workers int
+
+	// SnapshotWarn, when non-nil, receives snapshot persistence failures
+	// (the build itself succeeded); the default prints to stderr.
+	// cmd/arena-bench routes it through internal/cli for the uniform
+	// tool-prefixed message.
+	SnapshotWarn func(error)
+
 	mu   sync.Mutex
 	eng  *exec.Engine
 	comm map[string]*profiler.CommTable
@@ -134,11 +149,16 @@ func (e *Env) DB(types []string) (*perfdb.DB, error) {
 		return db, nil
 	}
 	e.mu.Unlock()
-	db, _, err := perfdb.BuildOrLoad(e.eng, perfdb.Options{
+	ctx := e.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	db, _, err := perfdb.BuildOrLoadCtx(ctx, e.eng, perfdb.Options{
 		Seed:      e.Seed,
 		GPUTypes:  types,
 		MaxN:      16,
 		Workloads: trace.DefaultWorkloads(),
+		Workers:   e.Workers,
 	}, e.dbSnapshotPath(types))
 	if err != nil {
 		// A failed snapshot write still returns a usable database;
@@ -146,7 +166,11 @@ func (e *Env) DB(types []string) (*perfdb.DB, error) {
 		if db == nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "experiments: warning: %v (continuing with the built database)\n", err)
+		if e.SnapshotWarn != nil {
+			e.SnapshotWarn(err)
+		} else {
+			fmt.Fprintf(os.Stderr, "experiments: warning: %v (continuing with the built database)\n", err)
+		}
 	}
 	e.mu.Lock()
 	e.dbs[key] = db

@@ -17,10 +17,12 @@
 package perfdb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
+	"sync/atomic"
 
 	"github.com/sjtu-epcc/arena/internal/core"
 	"github.com/sjtu-epcc/arena/internal/evalcache"
@@ -110,12 +112,41 @@ type Options struct {
 	// Serial additionally disables the per-workload fan-out, forcing a
 	// fully single-threaded build.
 	Serial bool
+
+	// Workers caps the build's total worker budget across both fan-out
+	// levels (workloads × points). <= 0 means all cores (GOMAXPROCS).
+	// Like NoCache/Serial it changes wall-clock only, never results.
+	Workers int
+
+	// Progress, when non-nil, receives one "perfdb.build" event per
+	// completed (workload, type, count) point. Points fan out over worker
+	// pools, so the function may be called concurrently.
+	Progress core.ProgressFunc
+}
+
+// maxWorkers resolves the build's worker budget.
+func (o Options) maxWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Build constructs the database by exercising the planner, profiler, full
 // and pruned searches on the execution engine for every (workload, type,
 // count) combination.
 func Build(eng *exec.Engine, opts Options) (*DB, error) {
+	return BuildCtx(context.Background(), eng, opts)
+}
+
+// BuildCtx is Build with cooperative cancellation: when ctx is cancelled
+// the build's worker pools drain their in-flight points and BuildCtx
+// returns ctx.Err() with a nil database — no goroutine outlives the call.
+// Uncancelled, the result is bit-identical to Build.
+func BuildCtx(ctx context.Context, eng *exec.Engine, opts Options) (*DB, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(opts.GPUTypes) == 0 {
 		return nil, fmt.Errorf("perfdb: no GPU types")
 	}
@@ -127,6 +158,9 @@ func Build(eng *exec.Engine, opts Options) (*DB, error) {
 	}
 	if len(opts.Workloads) == 0 {
 		opts.Workloads = model.Workloads()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	db := &DB{
 		GPUTypes:         opts.GPUTypes,
@@ -147,13 +181,20 @@ func Build(eng *exec.Engine, opts Options) (*DB, error) {
 	// Workloads are independent; build them concurrently. The engine is a
 	// pure function of its seed, so concurrency cannot perturb results.
 	results := make([]workloadResult, len(opts.Workloads))
-	workloadWorkers := runtime.GOMAXPROCS(0)
+	workloadWorkers := opts.maxWorkers()
 	if opts.Serial {
 		workloadWorkers = 1
 	}
-	core.ParallelFor(len(opts.Workloads), workloadWorkers, func(i int) {
-		results[i] = buildWorkload(eng, ct, opts.Workloads[i], opts)
-	})
+	counts := 0
+	for n := 1; n <= opts.MaxN; n *= 2 {
+		counts++
+	}
+	sink := &progressSink{fn: opts.Progress, total: len(opts.Workloads) * len(opts.GPUTypes) * counts}
+	if err := core.ParallelForCtx(ctx, len(opts.Workloads), workloadWorkers, func(i int) {
+		results[i] = buildWorkload(ctx, eng, ct, opts.Workloads[i], opts, sink)
+	}); err != nil {
+		return nil, err
+	}
 
 	for _, r := range results {
 		if r.err != nil {
@@ -187,6 +228,25 @@ type pointResult struct {
 	err     error
 }
 
+// progressSink fans per-point completion events into the caller's
+// ProgressFunc with one build-wide done counter.
+type progressSink struct {
+	fn    core.ProgressFunc
+	total int
+	done  atomic.Int64
+}
+
+func (ps *progressSink) point(w model.Workload, typ string, n int) {
+	if ps.fn == nil {
+		return
+	}
+	ps.fn(core.Event{
+		Step: "perfdb.build",
+		Item: fmt.Sprintf("%s/%s/n=%d", w, typ, n),
+		Done: int(ps.done.Add(1)), Total: ps.total,
+	})
+}
+
 // buildWorkload computes every entry of one workload (all types × counts).
 //
 // All points of the workload share one evalcache: a stage candidate
@@ -196,7 +256,7 @@ type pointResult struct {
 // time accumulators are folded serially in (type, count) order afterwards
 // so float summation order — and therefore every derived number — matches
 // the serial build bit for bit.
-func buildWorkload(eng *exec.Engine, ct *profiler.CommTable, w model.Workload, opts Options) (res workloadResult) {
+func buildWorkload(ctx context.Context, eng *exec.Engine, ct *profiler.CommTable, w model.Workload, opts Options, sink *progressSink) (res workloadResult) {
 	res.w = w
 	res.entries = map[Key]*Entry{}
 	g, err := model.BuildClustered(w.Model)
@@ -208,7 +268,7 @@ func buildWorkload(eng *exec.Engine, ct *profiler.CommTable, w model.Workload, o
 	// session (cross-grid redundancy elimination).
 	pl := planner.New()
 	pr := profiler.New(eng, ct)
-	jp, err := profiler.ProfileJob(pl, pr, g, w, opts.GPUTypes, opts.MaxN)
+	jp, err := profiler.ProfileJobCtx(ctx, pl, pr, g, w, opts.GPUTypes, opts.MaxN, nil)
 	if err != nil {
 		res.err = err
 		return res
@@ -238,14 +298,21 @@ func buildWorkload(eng *exec.Engine, ct *profiler.CommTable, w model.Workload, o
 	outs := make([]pointResult, len(points))
 	workers := 1
 	if !opts.NoCache && !opts.Serial {
-		// Split the core budget across the workloads building
-		// concurrently so the two fan-out levels multiply to
-		// ~GOMAXPROCS, not GOMAXPROCS².
-		workers = max(1, runtime.GOMAXPROCS(0)/max(1, min(len(opts.Workloads), runtime.GOMAXPROCS(0))))
+		// Split the worker budget across the workloads building
+		// concurrently so the two fan-out levels multiply to ~budget,
+		// not budget².
+		budget := opts.maxWorkers()
+		workers = max(1, budget/max(1, min(len(opts.Workloads), budget)))
 	}
-	core.ParallelFor(len(points), workers, func(i int) {
-		outs[i] = buildPoint(eng, g, w, jp, points[i].typ, points[i].n, searchOpts)
-	})
+	if err := core.ParallelForCtx(ctx, len(points), workers, func(i int) {
+		outs[i] = buildPoint(ctx, eng, g, w, jp, points[i].typ, points[i].n, searchOpts)
+		if outs[i].err == nil {
+			sink.point(w, points[i].typ, points[i].n)
+		}
+	}); err != nil {
+		res.err = err
+		return res
+	}
 
 	for i, p := range points {
 		out := outs[i]
@@ -267,7 +334,7 @@ func buildWorkload(eng *exec.Engine, ct *profiler.CommTable, w model.Workload, o
 }
 
 // buildPoint computes the entry for one (workload, type, count) point.
-func buildPoint(eng *exec.Engine, g *model.Graph, w model.Workload, jp *profiler.JobProfile, typ string, n int, searchOpts search.Options) (out pointResult) {
+func buildPoint(ctx context.Context, eng *exec.Engine, g *model.Graph, w model.Workload, jp *profiler.JobProfile, typ string, n int, searchOpts search.Options) (out pointResult) {
 	spec := hw.MustLookup(typ)
 	e := &Entry{}
 	out.entry = e
@@ -298,7 +365,7 @@ func buildPoint(eng *exec.Engine, g *model.Graph, w model.Workload, jp *profiler
 	}
 
 	// Adaptive-parallelism optimum (what execution achieves).
-	full, err := search.FullSearchOpts(eng, g, spec, w.GlobalBatch, n, searchOpts)
+	full, err := search.FullSearchCtx(ctx, eng, g, spec, w.GlobalBatch, n, searchOpts)
 	if err != nil {
 		out.err = err
 		return out
@@ -313,7 +380,7 @@ func buildPoint(eng *exec.Engine, g *model.Graph, w model.Workload, jp *profiler
 	r := core.Resource{GPUType: typ, N: n}
 	if grid, ok := jp.BestGrid(r); ok {
 		e.ArenaEstThr = jp.Estimates[grid].Throughput
-		pruned, err := search.PrunedSearchOpts(eng, g, spec, w.GlobalBatch, n, jp.GridPlans[grid], searchOpts)
+		pruned, err := search.PrunedSearchCtx(ctx, eng, g, spec, w.GlobalBatch, n, jp.GridPlans[grid], searchOpts)
 		if err == nil && pruned.Feasible() {
 			e.ArenaActualThr = pruned.Result.Throughput
 			e.ArenaPlan = pruned.Plan.Degrees()

@@ -1,6 +1,7 @@
 package perfdb
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +11,21 @@ import (
 	"github.com/sjtu-epcc/arena/internal/exec"
 	"github.com/sjtu-epcc/arena/internal/model"
 )
+
+// SnapshotError marks a snapshot persistence failure that did not affect
+// the built database: the build succeeded and the returned DB is fully
+// usable; only the cross-run cache was lost. Callers distinguish it with
+// errors.As to warn-and-continue instead of aborting.
+type SnapshotError struct {
+	Path string
+	Err  error
+}
+
+func (e *SnapshotError) Error() string {
+	return fmt.Sprintf("perfdb: saving snapshot %s: %v", e.Path, e.Err)
+}
+
+func (e *SnapshotError) Unwrap() error { return e.Err }
 
 // snapshotVersion guards the on-disk schema; bump on incompatible change.
 const snapshotVersion = 1
@@ -189,23 +205,29 @@ func (db *DB) Matches(seed uint64, opts Options) bool {
 // otherwise building fresh and writing the snapshot for the next run. The
 // returned bool reports whether the snapshot was used. An empty path
 // always builds and never writes. A failed snapshot write returns the
-// (fully usable) database together with the error: persistence is a
-// cache concern, and an expensive successful build must not be discarded
-// over it — callers decide whether to warn or abort.
+// (fully usable) database together with a *SnapshotError: persistence is
+// a cache concern, and an expensive successful build must not be
+// discarded over it — callers decide whether to warn or abort.
 func BuildOrLoad(eng *exec.Engine, opts Options, path string) (*DB, bool, error) {
+	return BuildOrLoadCtx(context.Background(), eng, opts, path)
+}
+
+// BuildOrLoadCtx is BuildOrLoad with cooperative cancellation of the
+// build step (snapshot loads are quick and run to completion regardless).
+func BuildOrLoadCtx(ctx context.Context, eng *exec.Engine, opts Options, path string) (*DB, bool, error) {
 	if path == "" {
-		db, err := Build(eng, opts)
+		db, err := BuildCtx(ctx, eng, opts)
 		return db, false, err
 	}
 	if db, err := Load(path); err == nil && db.Matches(eng.Seed(), opts) {
 		return db, true, nil
 	}
-	db, err := Build(eng, opts)
+	db, err := BuildCtx(ctx, eng, opts)
 	if err != nil {
 		return nil, false, err
 	}
 	if err := db.Save(path); err != nil {
-		return db, false, fmt.Errorf("perfdb: saving snapshot: %w", err)
+		return db, false, &SnapshotError{Path: path, Err: err}
 	}
 	return db, false, nil
 }

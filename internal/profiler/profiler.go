@@ -1,6 +1,7 @@
 package profiler
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -254,16 +255,33 @@ func (jp *JobProfile) Throughput(r core.Resource) float64 {
 // ProfileJob plans and profiles every grid of a workload across the given
 // GPU types up to maxN GPUs per type, returning the job's complete profile.
 func ProfileJob(pl *planner.Planner, pr *Profiler, g *model.Graph, w model.Workload, gpuTypes []string, maxN int) (*JobProfile, error) {
+	return ProfileJobCtx(context.Background(), pl, pr, g, w, gpuTypes, maxN, nil)
+}
+
+// ProfileJobCtx is ProfileJob with cooperative cancellation and progress
+// reporting: the grid loop stops at the first cancelled check and returns
+// ctx.Err(); progress (which may be nil) receives one "profile.job" event
+// per grid planned. Uncancelled, the profile is bit-identical to
+// ProfileJob's.
+func ProfileJobCtx(ctx context.Context, pl *planner.Planner, pr *Profiler, g *model.Graph, w model.Workload, gpuTypes []string, maxN int, progress core.ProgressFunc) (*JobProfile, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	jp := &JobProfile{
 		Workload:  w,
 		Estimates: map[core.Grid]*Estimate{},
 		GridPlans: map[core.Grid]*planner.GridPlan{},
 	}
-	for _, grid := range core.Enumerate(w, len(g.Ops), gpuTypes, maxN) {
+	grids := core.Enumerate(w, len(g.Ops), gpuTypes, maxN)
+	for i, grid := range grids {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gp, err := pl.PlanGrid(g, grid)
 		if err != nil {
 			return nil, err
 		}
+		progress.Emit("profile.job", grid.String(), i+1, len(grids))
 		if !gp.Feasible {
 			continue
 		}

@@ -1,8 +1,11 @@
 package search
 
 import (
+	"context"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/sjtu-epcc/arena/internal/core"
 	"github.com/sjtu-epcc/arena/internal/evalcache"
@@ -11,6 +14,19 @@ import (
 	"github.com/sjtu-epcc/arena/internal/model"
 	"github.com/sjtu-epcc/arena/internal/planner"
 )
+
+// waitGoroutines polls until the goroutine count returns to the baseline,
+// failing the test if worker goroutines outlive their search.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, now)
+	}
+}
 
 // TestCachedParallelFullSearchIsDeterministic asserts the tentpole
 // invariant: the memoized, parallel search path returns outcomes
@@ -110,6 +126,103 @@ func TestCachedPrunedSearchIsDeterministic(t *testing.T) {
 	after := cache.Stats()
 	if after.StageHits <= before.StageHits {
 		t.Error("pruned search reused no stage measurements from the full search")
+	}
+}
+
+// TestFullSearchCancellation covers the tentpole's cancellation contract:
+// a cancelled context aborts FullSearchCtx promptly with ctx.Err(), leaks
+// no goroutines, and a subsequent uncancelled run on the same cache still
+// matches the serial uncached reference bit for bit.
+func TestFullSearchCancellation(t *testing.T) {
+	eng := exec.NewEngine(42)
+	spec := hw.MustLookup("A40")
+	g, err := model.BuildClustered("GPT-1.3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := evalcache.New(eng)
+	before := runtime.NumGoroutine()
+
+	// Pre-cancelled: nothing runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FullSearchCtx(ctx, eng, g, spec, 128, 8, Options{Cache: cache, Workers: -1}); err != context.Canceled {
+		t.Fatalf("pre-cancelled full search: err = %v, want context.Canceled", err)
+	}
+
+	// Cancelled mid-flight, deterministically: the progress hook fires
+	// after the first pipeline degree completes.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	opts := Options{Cache: cache, Workers: -1, Progress: func(e core.Event) {
+		if e.Done == 1 {
+			cancel2()
+		}
+	}}
+	if _, err := FullSearchCtx(ctx2, eng, g, spec, 128, 8, opts); err != context.Canceled {
+		t.Fatalf("mid-flight cancel: err = %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, before)
+
+	// The same session state must still produce the serial reference.
+	serial, err := FullSearch(eng, g, spec, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := FullSearchOpts(eng, g, spec, 128, 8, Options{Cache: cache, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, warm) {
+		t.Errorf("post-cancel outcome diverged from serial reference\nserial: %+v plan %v\nwarm:   %+v plan %v",
+			serial.Result, serial.Plan, warm.Result, warm.Plan)
+	}
+}
+
+// TestPrunedSearchCancellation is the pruned-search half of the contract.
+func TestPrunedSearchCancellation(t *testing.T) {
+	eng := exec.NewEngine(42)
+	spec := hw.MustLookup("A40")
+	g, err := model.BuildClustered("GPT-1.3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := model.Workload{Model: "GPT-1.3B", GlobalBatch: 128}
+	pl := planner.New()
+	var gp *planner.GridPlan
+	for _, s := range core.PipelineDegrees(8, len(g.Ops)) {
+		cand, err := pl.PlanGrid(g, core.Grid{Workload: w, GPUType: "A40", N: 8, S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cand.Feasible {
+			gp = cand
+			break
+		}
+	}
+	if gp == nil {
+		t.Fatal("no feasible grid plan")
+	}
+
+	cache := evalcache.New(eng)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PrunedSearchCtx(ctx, eng, g, spec, 128, 8, gp, Options{Cache: cache, Workers: -1}); err != context.Canceled {
+		t.Fatalf("pre-cancelled pruned search: err = %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, before)
+
+	serial, err := PrunedSearch(eng, g, spec, 128, 8, gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := PrunedSearchCtx(context.Background(), eng, g, spec, 128, 8, gp, Options{Cache: cache, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, warm) {
+		t.Errorf("post-cancel pruned outcome diverged from serial reference")
 	}
 }
 

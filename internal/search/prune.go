@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/sjtu-epcc/arena/internal/exec"
@@ -118,21 +119,33 @@ func PrunedSearchWithNodes(eng *exec.Engine, g *model.Graph, spec hw.GPU, global
 // full and pruned searches of a point reuses every overlapping stage
 // measurement.
 func PrunedSearchOpts(eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch, n int, gp *planner.GridPlan, opts Options) (Outcome, error) {
+	return PrunedSearchCtx(context.Background(), eng, g, spec, globalBatch, n, gp, opts)
+}
+
+// PrunedSearchCtx is PrunedSearchOpts with cooperative cancellation: when
+// ctx is cancelled the search stops within one scheduling quantum of its
+// worker pool and returns ctx.Err() with a zero Outcome. Uncancelled, it
+// is bit-identical to PrunedSearchOpts.
+func PrunedSearchCtx(ctx context.Context, eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch, n int, gp *planner.GridPlan, opts Options) (Outcome, error) {
 	if gp == nil || !gp.Feasible || gp.Proxy == nil {
 		return Outcome{}, fmt.Errorf("search: pruned search needs a feasible grid plan")
 	}
 	if gp.Grid.N != n {
 		return Outcome{}, fmt.Errorf("search: grid is for %d GPUs, searching %d", gp.Grid.N, n)
 	}
-	s, err := newSearcher(eng, g, spec, globalBatch, opts)
+	s, err := newSearcher(ctx, eng, g, spec, globalBatch, opts)
 	if err != nil {
 		return Outcome{}, err
 	}
 	restrict := BuildRestriction(g, spec, gp.Frontier)
 
 	out := s.searchDegree(gp.Grid.S, n, restrict)
+	if s.err != nil {
+		return Outcome{}, s.err
+	}
 	out.StageEvals = s.stageEvals
 	out.SearchTime = prunedSearchBaseSeconds + float64(s.stageEvals)*stageProfileSeconds
+	opts.Progress.Emit("search.pruned", fmt.Sprintf("deg=%d", gp.Grid.S), 1, 1)
 
 	// Fall back to the proxy plan if the restricted DP found nothing; the
 	// measurement goes through the session cache when one is attached.

@@ -13,6 +13,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -77,6 +78,9 @@ type Options struct {
 	// Workers bounds the candidate-profiling fan-out per degree
 	// (<= 1 = serial, < 0 = GOMAXPROCS).
 	Workers int
+	// Progress, when non-nil, receives one event per pipeline degree
+	// searched. It never affects outcomes.
+	Progress core.ProgressFunc
 }
 
 // workers resolves the effective pool width.
@@ -92,6 +96,7 @@ func (o Options) workers() int {
 
 // searcher carries shared state across one search session.
 type searcher struct {
+	ctx         context.Context
 	eng         *exec.Engine
 	graph       *model.Graph
 	spec        hw.GPU
@@ -102,6 +107,7 @@ type searcher struct {
 	workers     int
 
 	stageEvals int
+	err        error // sticky cancellation error (always ctx.Err())
 }
 
 // measureStage profiles one candidate, through the memo table when the
@@ -138,17 +144,30 @@ func FullSearchWithNodes(eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBa
 // FullSearchOpts is FullSearch with execution options (memoization cache,
 // profiling fan-out, node packing).
 func FullSearchOpts(eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch, n int, opts Options) (Outcome, error) {
+	return FullSearchCtx(context.Background(), eng, g, spec, globalBatch, n, opts)
+}
+
+// FullSearchCtx is FullSearchOpts with cooperative cancellation: when ctx
+// is cancelled the search stops within one scheduling quantum of its
+// worker pool and returns ctx.Err() with a zero Outcome. Uncancelled, it
+// is bit-identical to FullSearchOpts.
+func FullSearchCtx(ctx context.Context, eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch, n int, opts Options) (Outcome, error) {
 	if n < 1 {
 		return Outcome{}, fmt.Errorf("search: n=%d", n)
 	}
-	s, err := newSearcher(eng, g, spec, globalBatch, opts)
+	s, err := newSearcher(ctx, eng, g, spec, globalBatch, opts)
 	if err != nil {
 		return Outcome{}, err
 	}
 	var best Outcome
-	for _, deg := range core.PipelineDegrees(n, len(g.Ops)) {
+	degrees := core.PipelineDegrees(n, len(g.Ops))
+	for i, deg := range degrees {
 		out := s.searchDegree(deg, n, nil)
+		if s.err != nil {
+			return Outcome{}, s.err
+		}
 		mergeBest(&best, out)
+		opts.Progress.Emit("search.full", fmt.Sprintf("deg=%d", deg), i+1, len(degrees))
 	}
 	best.StageEvals = s.stageEvals
 	best.SearchTime = searchBaseSeconds + float64(s.stageEvals)*stageProfileSeconds
@@ -156,16 +175,19 @@ func FullSearchOpts(eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch, 
 }
 
 // newSearcher validates options and builds a search session.
-func newSearcher(eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch int, opts Options) (*searcher, error) {
+func newSearcher(ctx context.Context, eng *exec.Engine, g *model.Graph, spec hw.GPU, globalBatch int, opts Options) (*searcher, error) {
 	if opts.Cache != nil && opts.Cache.Engine() != eng {
 		return nil, fmt.Errorf("search: cache is bound to a different engine")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	gpusPerNode := opts.GPUsPerNode
 	if gpusPerNode < 1 {
 		gpusPerNode = spec.GPUsPerNode
 	}
 	s := &searcher{
-		eng: eng, graph: g, spec: spec, globalBatch: globalBatch,
+		ctx: ctx, eng: eng, graph: g, spec: spec, globalBatch: globalBatch,
 		gpusPerNode: gpusPerNode, cache: opts.Cache, workers: opts.workers(),
 	}
 	if s.cache != nil {
@@ -192,7 +214,7 @@ func mergeBest(best *Outcome, out Outcome) {
 func (s *searcher) searchDegree(deg, n int, restrict *Restriction) Outcome {
 	numMicro := parallel.DefaultMicrobatches(deg)
 	cands := s.profileStageCandidates(deg, n, numMicro, restrict)
-	if len(cands) == 0 {
+	if s.err != nil || len(cands) == 0 {
 		return Outcome{}
 	}
 
@@ -211,6 +233,10 @@ func (s *searcher) searchDegree(deg, n int, restrict *Restriction) Outcome {
 	seen := map[string]bool{}
 	var out Outcome
 	for bi, tmax := range bounds {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return Outcome{}
+		}
 		var stages []parallel.StagePlan
 		if composed != nil {
 			stages = composed[bi]
@@ -286,14 +312,17 @@ func (s *searcher) profileStageCandidates(deg, n, numMicro int, restrict *Restri
 	}
 
 	cands := make([]stageCand, len(jobs))
-	core.ParallelFor(len(jobs), s.workers, func(i int) {
+	if err := core.ParallelForCtx(s.ctx, len(jobs), s.workers, func(i int) {
 		st := jobs[i]
 		m := s.measureStage(st, microSamples)
 		cands[i] = stageCand{
 			start: st.OpStart, end: st.OpEnd, gpus: st.GPUs(), dp: st.DP, tp: st.TP,
 			time: m.Time(), feasible: true,
 		}
-	})
+	}); err != nil {
+		s.err = err
+		return nil
+	}
 	return cands
 }
 

@@ -12,11 +12,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"github.com/sjtu-epcc/arena/internal/cluster"
+	"github.com/sjtu-epcc/arena/internal/core"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/metrics"
 	"github.com/sjtu-epcc/arena/internal/perfdb"
@@ -48,6 +50,11 @@ type Config struct {
 	// IncludeUnfinished censors unfinished jobs' JCT at the horizon and
 	// includes them (Fig. 12's "unfinished jobs included").
 	IncludeUnfinished bool
+
+	// Progress, when non-nil, receives one "sim.round" event per
+	// scheduling round (called from the simulation loop, single-threaded).
+	// It never affects outcomes.
+	Progress core.ProgressFunc
 }
 
 // Result carries the aggregated metrics plus final job states.
@@ -60,6 +67,16 @@ type Result struct {
 
 // Run executes the simulation to completion or the round bound.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the round loop stops at
+// the first cancelled check and returns ctx.Err() with a nil result.
+// Uncancelled, the simulation is bit-identical to Run.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Policy == nil || cfg.DB == nil {
 		return nil, fmt.Errorf("sim: need a policy and a perfdb")
 	}
@@ -112,6 +129,9 @@ func Run(cfg Config) (*Result, error) {
 
 	now := 0.0
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		now = float64(round) * cfg.RoundSeconds
 		s.advanceTo(now)
 		s.admit(now)
@@ -128,6 +148,7 @@ func Run(cfg Config) (*Result, error) {
 		s.apply(now, asg)
 
 		s.sampleThroughput(now)
+		cfg.Progress.Emit("sim.round", cfg.Policy.Name(), round+1, maxRounds)
 		if s.done() && round > 1 {
 			break
 		}

@@ -61,21 +61,35 @@
 // the WithProgress callback. Uncancelled, their results are bit-identical
 // to the deprecated package-level free functions they replace.
 //
-// # Performance-database snapshots
+// # The measurement store
 //
-// Building the performance database exercises the planner, profiler and
-// both AP searches for every (workload, GPU type, count) point — by far
-// the most expensive step of a simulator run, and a deterministic
-// function of (seed, options). WithPerfDBSnapshot persists a built
-// database as a JSON snapshot and loads it back when the fingerprint
-// (seed, GPU types, counts, workloads) still matches, skipping the
-// rebuild entirely. The cmd tools expose this uniformly as -db-cache
-// (alongside the equally uniform -seed and -workers):
+// Every expensive artifact in the pipeline is a deterministic function of
+// its inputs: the engine is a pure function of its seed, so op and stage
+// measurements, plan evaluations and whole performance-database columns
+// are all reusable whenever those inputs repeat. WithStore persists them
+// in a content-addressed on-disk store (internal/store): objects are
+// keyed by hashes of (engine seed and tunables, model-graph fingerprint,
+// GPU-spec fingerprint, workload params, schema version), so
 //
-//	arena-sim     -policy all -trace philly -db-cache perfdb.json
-//	arena-bench   -fig fig11 -db-cache ./dbcache
-//	arena-plan    -model GPT-1.3B -gpu A40 -n 8 -db-cache plan.json
-//	arena-profile -model WRes-1B -gpu A40 -n 4 -db-cache prof.json
+//   - repeated CLI invocations skip even cold-search profiling (the
+//     op/stage memo hydrates lazily per measurement context and
+//     Session.Close flushes back what the session added);
+//   - BuildPerfDB rebuilds only the workload columns the store lacks —
+//     adding one workload profiles that workload alone;
+//   - changing any input (a model definition, a device spec, the seed)
+//     invalidates exactly the objects derived from it, for free.
+//
+// The cmd tools expose this uniformly as -store (alongside the equally
+// uniform -seed and -workers):
+//
+//	arena-sim     -policy all -trace philly -store ./measurements
+//	arena-bench   -fig fig11 -store ./measurements
+//	arena-plan    -model GPT-1.3B -gpu A40 -n 8 -store ./measurements
+//	arena-profile -model WRes-1B -gpu A40 -n 4 -store ./measurements
+//
+// The deprecated WithPerfDBSnapshot / -db-cache single-file snapshot path
+// is kept as a working shim, but it is all-or-nothing: one new workload,
+// seed or GPU type forces a full rebuild.
 //
 // See examples/ for runnable programs and cmd/arena-bench for the full
 // reproduction of the paper's evaluation.

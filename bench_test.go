@@ -6,6 +6,8 @@
 package arena_test
 
 import (
+	"context"
+
 	"io"
 	"os"
 	"path/filepath"
@@ -44,7 +46,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		table, err := ex.Run()
+		table, err := ex.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,6 +8,13 @@
 //	arena-bench -list           # list experiment IDs
 //	arena-bench -fig fig11,fig12
 //	arena-bench -seed 7         # change the determinism seed
+//	arena-bench -fig fig11 -store ./measurements
+//
+// With -store, every performance database the experiments build persists
+// as content-addressed per-workload columns, so later runs — including
+// runs selecting different figures — reuse them and rebuild only what is
+// missing. A ^C cancels mid-figure: in-flight database builds, searches
+// and simulations stop within one worker-pool quantum.
 package main
 
 import (
@@ -30,10 +37,11 @@ func main() {
 	flag.Parse()
 
 	env := experiments.NewEnv(c.Seed)
-	env.DBCacheDir = c.DBCache
+	env.StoreDir = c.Store
+	env.DBCacheDir = c.EffectiveDBCache()
 	env.Workers = c.Workers
-	env.Ctx = cli.Context()
 	env.SnapshotWarn = cli.WarnSnapshot
+	ctx := cli.Context()
 	if *list {
 		for _, ex := range env.Registry() {
 			fmt.Printf("%-10s %s\n", ex.ID, ex.Brief)
@@ -57,7 +65,7 @@ func main() {
 
 	for _, ex := range selected {
 		start := time.Now()
-		table, err := ex.Run()
+		table, err := ex.Run(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.ID, err)
 			os.Exit(1)

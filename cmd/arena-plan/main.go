@@ -7,6 +7,11 @@
 //
 //	arena-plan -model GPT-1.3B -batch 128 -gpu A40 -n 4
 //	arena-plan -model WRes-1B -batch 256 -gpu A40 -n 4 -s 2 -frontier
+//	arena-plan -model GPT-1.3B -gpu A40 -n 8 -store ./measurements
+//
+// With -store, measurements persist across invocations: running the same
+// command twice serves the second run entirely from the on-disk memo
+// (watch the "store:" lines on stderr report zero cold measurements).
 package main
 
 import (
@@ -44,17 +49,14 @@ func main() {
 		cli.Fatal(err)
 	}
 	w := arena.Workload{Model: *modelName, GlobalBatch: *batch}
-	sess, err := arena.New(
+	sess := cli.NewSession(c,
 		arena.WithSeed(c.Seed),
 		arena.WithWorkers(c.Workers),
 		arena.WithGPUTypes(*gpu),
 		arena.WithMaxN(*n),
 		arena.WithWorkloads(w),
-		arena.WithPerfDBSnapshot(c.DBCache),
 	)
-	if err != nil {
-		cli.Fatal(err)
-	}
+	defer cli.CloseSession(c, sess)
 
 	degrees := arena.PipelineDegrees(*n, len(g.Ops))
 	if *s > 0 {
@@ -91,7 +93,7 @@ func main() {
 		}
 	}
 
-	if c.DBCache != "" {
+	if c.Persistent() {
 		db, src := cli.BuildDB(ctx, sess)
 		if e, ok := db.Entry(w, *gpu, *n); ok {
 			fmt.Printf("\nperfdb (%s): AP optimum %-12s %8.1f samples/s (full search %.0fs)\n",

@@ -35,17 +35,14 @@ func main() {
 		cli.Fatal(err)
 	}
 	w := arena.Workload{Model: *modelName, GlobalBatch: *batch}
-	sess, err := arena.New(
+	sess := cli.NewSession(c,
 		arena.WithSeed(c.Seed),
 		arena.WithWorkers(c.Workers),
 		arena.WithGPUTypes(*gpu),
 		arena.WithMaxN(*n),
 		arena.WithWorkloads(w),
-		arena.WithPerfDBSnapshot(c.DBCache),
 	)
-	if err != nil {
-		cli.Fatal(err)
-	}
+	defer cli.CloseSession(c, sess)
 
 	fmt.Printf("offline-sampling communication primitives for %s...\n", *gpu)
 	ct, err := sess.CommTable(ctx)
@@ -90,7 +87,7 @@ func main() {
 			est.ProfileGPUTime, est.UniqueOps, est.TotalOps, oracle, oracle/est.ProfileGPUTime)
 	}
 
-	if c.DBCache != "" {
+	if c.Persistent() {
 		db, src := cli.BuildDB(ctx, sess)
 		if e, ok := db.Entry(w, *gpu, *n); ok {
 			fmt.Printf("\nperfdb (%s): profiler estimate %8.1f samples/s vs deployed plan %-12s %8.1f samples/s\n",

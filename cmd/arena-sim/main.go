@@ -4,7 +4,7 @@
 // Usage:
 //
 //	arena-sim -policy arena -trace philly -cluster sim -jobs 3000
-//	arena-sim -policy all -trace philly -cluster a -db-cache perfdb.json
+//	arena-sim -policy all -trace philly -cluster a -store ./measurements
 //	arena-sim -policy sia -trace pai -cluster sim -jobs 450 -workers 4
 package main
 
@@ -47,27 +47,19 @@ func main() {
 		cli.Fatal(err)
 	}
 
-	sess, err := arena.New(
+	sess := cli.NewSession(c,
 		arena.WithSeed(c.Seed),
 		arena.WithWorkers(c.Workers),
 		arena.WithCluster(spec),
 		arena.WithMaxN(16),
 		arena.WithWorkloads(arena.DefaultWorkloads()...),
-		arena.WithPerfDBSnapshot(c.DBCache),
 	)
-	if err != nil {
-		cli.Fatal(err)
-	}
+	defer cli.CloseSession(c, sess)
 
 	fmt.Printf("building performance database for %v (this exercises the planner, profiler and AP searches)...\n", types)
 	start := time.Now()
-	db, err := sess.BuildPerfDB(ctx)
-	cli.ReportDB(db, err)
-	if sess.PerfDBFromSnapshot() {
-		fmt.Printf("  %d entries loaded from snapshot %s in %v\n\n", len(db.Keys()), c.DBCache, time.Since(start).Round(time.Millisecond))
-	} else {
-		fmt.Printf("  %d entries in %v\n\n", len(db.Keys()), time.Since(start).Round(time.Millisecond))
-	}
+	db, src := cli.BuildDB(ctx, sess)
+	fmt.Printf("  %d entries (%s) in %v\n\n", len(db.Keys()), src, time.Since(start).Round(time.Millisecond))
 
 	pols, err := pickPolicies(*policyName)
 	if err != nil {

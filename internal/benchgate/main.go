@@ -1,0 +1,232 @@
+// Command benchgate is the CI benchmark-regression gate: it parses `go
+// test -bench` output, reduces repeated runs (-count N) to per-benchmark
+// medians, and compares them against the wall-clock baselines recorded in
+// BENCH_search.json. The tolerance is deliberately generous — shared CI
+// runners are noisy, so the gate exists to catch order-of-magnitude
+// regressions (a cache that stopped hitting, a fan-out that went serial),
+// not single-digit percentage drift.
+//
+// Usage:
+//
+//	go test -run XXX -bench 'BenchmarkFullSearch$|BenchmarkBuildPerfDB' \
+//	    -benchtime 5x -count 3 . | tee bench-output.txt
+//	go run ./internal/benchgate -bench bench-output.txt \
+//	    -baseline BENCH_search.json -tolerance 2.5
+//
+// Exit status 1 means at least one benchmark's median exceeded
+// tolerance × baseline; 2 means the inputs could not be interpreted or a
+// baseline went unmatched by any run (both must fail CI too — a gate that
+// silently matches less than it used to guards less than it claims).
+// Local runs benching a subset can pass -require-all-baselines=false.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		benchPath  = flag.String("bench", "", "go test -bench output file (default stdin)")
+		basePath   = flag.String("baseline", "BENCH_search.json", "baseline file")
+		tolerance  = flag.Float64("tolerance", 2.5, "fail when median > tolerance x baseline")
+		requireAll = flag.Bool("require-all-baselines", true, "fail when a baseline matches no benchmark run (guards against silent coverage erosion)")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *benchPath != "" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	runs, err := parseBenchOutput(in)
+	if err != nil {
+		fatal(err)
+	}
+	baselines, err := loadBaselines(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	results := compare(runs, baselines, *tolerance)
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark in the input matched any baseline in %s", *basePath))
+	}
+	failed := false
+	fmt.Printf("%-40s %15s %15s %7s  %s\n", "benchmark", "median ns/op", "baseline ns/op", "ratio", "status")
+	for _, r := range results {
+		status := "ok"
+		if r.Failed {
+			status = fmt.Sprintf("FAIL (> %.2fx)", *tolerance)
+			failed = true
+		}
+		fmt.Printf("%-40s %15.0f %15.0f %6.2fx  %s\n", r.Name, r.Median, r.Baseline, r.Ratio, status)
+	}
+	if missing := unmatchedBaselines(runs, baselines); len(missing) > 0 {
+		for _, name := range missing {
+			fmt.Printf("%-40s %15s %15.0f %7s  baseline not exercised by any run\n", name, "-", baselines[name], "-")
+		}
+		if *requireAll {
+			fatal(fmt.Errorf("%d baseline(s) matched no benchmark run (renamed benchmark or drifted baseline key?); rerun with -require-all-baselines=false if the subset is intentional", len(missing)))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// unmatchedBaselines lists baselines no run exercised, sorted for stable
+// output.
+func unmatchedBaselines(runs map[string][]float64, baselines map[string]float64) []string {
+	var missing []string
+	for name := range baselines {
+		if _, ok := runs[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(2)
+}
+
+// parseBenchOutput collects ns/op samples per benchmark name from `go
+// test -bench` output, stripping the trailing -GOMAXPROCS suffix so
+// repeated -count runs aggregate under one name.
+func parseBenchOutput(r io.Reader) (map[string][]float64, error) {
+	runs := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-4  <iters>  <ns> ns/op [extra metrics...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 1 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		runs[name] = append(runs[name], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return runs, nil
+}
+
+// baselineFile mirrors the relevant shape of BENCH_search.json: a
+// "benchmarks" object whose members hold <variant>_ns_per_op numbers.
+type baselineFile struct {
+	Benchmarks map[string]map[string]any `json:"benchmarks"`
+}
+
+// loadBaselines flattens BENCH_search.json into full benchmark names:
+// benchmarks.BenchmarkFullSearch.serial_ns_per_op becomes
+// "BenchmarkFullSearch/serial". Underscores in the variant map to dashes
+// in the sub-benchmark name (cached_parallel -> cached-parallel).
+func loadBaselines(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for bench, members := range bf.Benchmarks {
+		for key, val := range members {
+			variant, ok := strings.CutSuffix(key, "_ns_per_op")
+			if !ok {
+				continue
+			}
+			ns, ok := val.(float64)
+			if !ok || ns <= 0 {
+				continue
+			}
+			out[bench+"/"+strings.ReplaceAll(variant, "_", "-")] = ns
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no *_ns_per_op baselines found", path)
+	}
+	return out, nil
+}
+
+// comparison is one benchmark's verdict.
+type comparison struct {
+	Name             string
+	Median, Baseline float64
+	Ratio            float64
+	Failed           bool
+}
+
+// compare reduces each matched benchmark's samples to the median and
+// judges it against tolerance × baseline. Benchmarks without a baseline
+// (new ones) and baselines without a run (not selected) are skipped.
+func compare(runs map[string][]float64, baselines map[string]float64, tolerance float64) []comparison {
+	var out []comparison
+	names := make([]string, 0, len(runs))
+	for name := range runs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, ok := baselines[name]
+		if !ok {
+			continue
+		}
+		med := median(runs[name])
+		out = append(out, comparison{
+			Name: name, Median: med, Baseline: base,
+			Ratio:  med / base,
+			Failed: med > tolerance*base,
+		})
+	}
+	return out
+}
+
+// median returns the middle sample (mean of the middle two for even
+// counts).
+func median(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/sjtu-epcc/arena
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFullSearch/serial-4         	       5	  55792622 ns/op
+BenchmarkFullSearch/serial-4         	       5	  60000000 ns/op
+BenchmarkFullSearch/serial-4         	       5	  50000000 ns/op
+BenchmarkFullSearch/cached-parallel-4	       5	  17781101 ns/op
+BenchmarkFullSearch/cached-parallel-4	       5	  18000000 ns/op
+BenchmarkFullSearch/cached-parallel-4	       5	  17000000 ns/op
+BenchmarkBuildPerfDB/snapshot-4      	       5	     70602 ns/op	   12345 B/op	      67 allocs/op
+PASS
+ok  	github.com/sjtu-epcc/arena	12.345s
+`
+
+const sampleBaseline = `{
+  "benchmarks": {
+    "BenchmarkFullSearch": {
+      "inputs": "ignored",
+      "serial_ns_per_op": 55792622,
+      "cached_parallel_ns_per_op": 17781101,
+      "speedup": 3.14
+    },
+    "BenchmarkBuildPerfDB": {
+      "snapshot_ns_per_op": 70602
+    }
+  }
+}`
+
+func TestParseBenchOutput(t *testing.T) {
+	runs, err := parseBenchOutput(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(runs["BenchmarkFullSearch/serial"]); got != 3 {
+		t.Fatalf("serial samples: want 3, got %d", got)
+	}
+	// The -4 GOMAXPROCS suffix must be stripped, extra metrics tolerated.
+	if got := len(runs["BenchmarkBuildPerfDB/snapshot"]); got != 1 {
+		t.Fatalf("snapshot samples: want 1, got %d (keys %v)", got, runs)
+	}
+	if _, err := parseBenchOutput(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("benchmark-free input must error")
+	}
+}
+
+func TestLoadBaselines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(sampleBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaselines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Underscore variants map to dash-named sub-benchmarks; non-ns fields
+	// (inputs, speedup) are ignored.
+	if base["BenchmarkFullSearch/cached-parallel"] != 17781101 {
+		t.Fatalf("cached-parallel baseline missing: %v", base)
+	}
+	if len(base) != 3 {
+		t.Fatalf("want 3 baselines, got %v", base)
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	runs := map[string][]float64{
+		"BenchmarkFullSearch/serial": {100, 300, 200}, // median 200
+		"BenchmarkFullSearch/new":    {50},            // no baseline: skipped
+	}
+	baselines := map[string]float64{
+		"BenchmarkFullSearch/serial": 100,
+		"BenchmarkFullSearch/idle":   1, // not run: skipped
+	}
+	res := compare(runs, baselines, 2.5)
+	if len(res) != 1 || res[0].Failed {
+		t.Fatalf("2.0x median must pass at 2.5x tolerance: %+v", res)
+	}
+	res = compare(runs, baselines, 1.5)
+	if len(res) != 1 || !res[0].Failed {
+		t.Fatalf("2.0x median must fail at 1.5x tolerance: %+v", res)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median: %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median: %v", m)
+	}
+}
+
+func TestUnmatchedBaselines(t *testing.T) {
+	runs := map[string][]float64{"BenchmarkFullSearch/serial": {100}}
+	baselines := map[string]float64{
+		"BenchmarkFullSearch/serial":    100,
+		"BenchmarkBuildPerfDB/snapshot": 70602,
+		"BenchmarkBuildPerfDB/cached":   1,
+	}
+	missing := unmatchedBaselines(runs, baselines)
+	if len(missing) != 2 || missing[0] != "BenchmarkBuildPerfDB/cached" {
+		t.Fatalf("want the two unexercised baselines sorted, got %v", missing)
+	}
+}

@@ -1,8 +1,8 @@
 // Package cli holds the plumbing shared by the four arena command-line
 // tools (arena-sim, arena-bench, arena-plan, arena-profile): the common
-// -seed/-workers/-db-cache flags, cluster and trace pickers, a
-// signal-aware root context, and one error/warning path so every tool
-// reports failures in the same format.
+// -seed/-workers/-store flags, cluster and trace pickers, a signal-aware
+// root context, and one error/warning path so every tool reports failures
+// in the same format.
 package cli
 
 import (
@@ -18,6 +18,7 @@ import (
 	arena "github.com/sjtu-epcc/arena"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/perfdb"
+	"github.com/sjtu-epcc/arena/internal/store"
 	"github.com/sjtu-epcc/arena/internal/trace"
 )
 
@@ -28,8 +29,16 @@ type Common struct {
 	// Workers bounds profiling/search/build worker pools; 0 = all cores
 	// (-workers).
 	Workers int
-	// DBCache is the PerfDB snapshot path — a JSON file, or a directory
-	// for arena-bench (-db-cache).
+	// Store is the content-addressed measurement store directory
+	// (-store): op/stage/plan measurements and per-workload performance-
+	// database columns persist across invocations, so repeated runs skip
+	// cold profiling and adding a workload rebuilds only its own column.
+	Store string
+	// DBCache is the legacy all-or-nothing PerfDB snapshot path — a JSON
+	// file, or a directory for arena-bench (-db-cache).
+	//
+	// Deprecated: use Store. Kept as a working alias; ignored when Store
+	// is also set.
 	DBCache string
 }
 
@@ -39,8 +48,83 @@ func CommonFlags() *Common {
 	c := &Common{}
 	flag.Uint64Var(&c.Seed, "seed", 42, "determinism seed")
 	flag.IntVar(&c.Workers, "workers", 0, "worker goroutines for profiling/search/build fan-out (0 = all cores)")
-	flag.StringVar(&c.DBCache, "db-cache", "", "PerfDB JSON snapshot path (arena-bench: directory): load when valid, write after a fresh build")
+	flag.StringVar(&c.Store, "store", "", "content-addressed measurement store directory: persists op/stage measurements and per-workload PerfDB columns across runs")
+	flag.StringVar(&c.DBCache, "db-cache", "", "deprecated: use -store. Legacy all-or-nothing PerfDB JSON snapshot path (arena-bench: directory)")
 	return c
+}
+
+// Persistent reports whether any cross-run persistence is configured —
+// the condition tools use to decide whether to print the perfdb section.
+func (c *Common) Persistent() bool { return c.Store != "" || c.DBCache != "" }
+
+// EffectiveDBCache resolves the deprecated -db-cache flag against -store,
+// printing the uniform deprecation warning: -store supersedes -db-cache
+// when both are given. Every tool must route its legacy snapshot path
+// through this method so the precedence rule lives in exactly one place.
+func (c *Common) EffectiveDBCache() string {
+	switch {
+	case c.DBCache == "":
+		return ""
+	case c.Store != "":
+		fmt.Fprintf(os.Stderr, "%s: warning: -db-cache is deprecated and ignored because -store is set\n", Tool())
+		return ""
+	default:
+		fmt.Fprintf(os.Stderr, "%s: warning: -db-cache is deprecated; prefer -store for partial, content-addressed reuse\n", Tool())
+		return c.DBCache
+	}
+}
+
+// SessionOptions translates the persistence flags into session options.
+func (c *Common) SessionOptions() []arena.Option {
+	var opts []arena.Option
+	if c.Store != "" {
+		opts = append(opts, arena.WithStore(c.Store))
+	}
+	if path := c.EffectiveDBCache(); path != "" {
+		opts = append(opts, arena.WithPerfDBSnapshot(path))
+	}
+	return opts
+}
+
+// NewSession constructs the tool's session from the given options plus
+// the persistence flags. A store written by an incompatible schema
+// version is warned about and skipped — the tool runs without persistence
+// rather than aborting, since the store is only a cache.
+func NewSession(c *Common, opts ...arena.Option) *arena.Session {
+	full := append(append([]arena.Option(nil), opts...), c.SessionOptions()...)
+	sess, err := arena.New(full...)
+	if err != nil && c.Store != "" && errors.Is(err, store.ErrSchema) {
+		fmt.Fprintf(os.Stderr, "%s: warning: %v (continuing without the store)\n", Tool(), err)
+		sess, err = arena.New(opts...)
+	}
+	if err != nil {
+		Fatal(err)
+	}
+	return sess
+}
+
+// CloseSession flushes the session's measurement memo to the store and
+// reports the session's profiling economics: what the store restored
+// (hydration is lazy, so this is known only at the end) and how much cold
+// measurement it saved. Persistence failures only lose the cross-run
+// cache, so they warn instead of failing the tool.
+func CloseSession(c *Common, sess *arena.Session) {
+	if c.Store != "" {
+		st := sess.EvalStoreStats()
+		for _, serr := range st.Skipped {
+			fmt.Fprintf(os.Stderr, "%s: warning: %v (object skipped; measurements rebuilt)\n", Tool(), serr)
+		}
+		if st.Stages+st.Ops+st.Plans > 0 {
+			fmt.Fprintf(os.Stderr, "%s: store: restored %d stage, %d op, %d plan measurements from %s\n",
+				Tool(), st.Stages, st.Ops, st.Plans, c.Store)
+		}
+		s := sess.EvalCache().Stats()
+		fmt.Fprintf(os.Stderr, "%s: store: this run measured %d stages and %d plans cold (%d stage, %d plan requests served from the memo)\n",
+			Tool(), s.StageMisses, s.PlanMisses, s.StageHits, s.PlanHits)
+	}
+	if err := sess.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: warning: %v (measurements from this run were not persisted)\n", Tool(), err)
+	}
 }
 
 // Tool returns the running tool's name for message prefixes.
@@ -73,16 +157,28 @@ func ReportDB(db *perfdb.DB, err error) {
 	Fatal(err)
 }
 
-// BuildDB builds (or snapshot-loads) the session's performance database,
-// funnels the outcome through ReportDB, and labels the source the way the
-// tools print it ("snapshot" vs "searched").
+// BuildDB builds (or store/snapshot-loads) the session's performance
+// database, funnels the outcome through ReportDB, and labels the source
+// the way the tools print it: "store" (all columns reused), "store,
+// partial" (some columns built), "snapshot" (legacy single file), or
+// "searched".
 func BuildDB(ctx context.Context, sess *arena.Session) (*perfdb.DB, string) {
 	db, err := sess.BuildPerfDB(ctx)
 	ReportDB(db, err)
-	if sess.PerfDBFromSnapshot() {
-		return db, "snapshot"
+	stats := sess.PerfDBStoreStats()
+	for _, serr := range stats.Skipped {
+		fmt.Fprintf(os.Stderr, "%s: warning: %v (column rebuilt)\n", Tool(), serr)
 	}
-	return db, "searched"
+	switch {
+	case stats.FromStore():
+		return db, "store"
+	case stats.LoadedColumns > 0:
+		return db, fmt.Sprintf("store, partial: %d columns reused, %d built", stats.LoadedColumns, stats.BuiltColumns)
+	case sess.PerfDBFromSnapshot():
+		return db, "snapshot"
+	default:
+		return db, "searched"
+	}
 }
 
 // Context returns the tool's root context, cancelled on SIGINT/SIGTERM so

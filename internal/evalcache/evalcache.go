@@ -40,6 +40,7 @@ import (
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/model"
 	"github.com/sjtu-epcc/arena/internal/parallel"
+	"github.com/sjtu-epcc/arena/internal/store"
 )
 
 // shardKey identifies a measurement context: everything about a stage
@@ -103,6 +104,14 @@ type Cache struct {
 	shards map[shardKey]*StageShard
 	plans  map[planKey]exec.Result
 
+	// backing, when non-nil (AttachStore), persists measurement contexts:
+	// each shard is loaded from its content-addressed object on first
+	// resolution and written back by SaveStore when dirty. engineFP and
+	// loadStats are maintained alongside it, all under mu.
+	backing   *store.Store
+	engineFP  string
+	loadStats LoadStats
+
 	stageHits, stageMisses atomic.Int64
 	planHits, planMisses   atomic.Int64
 }
@@ -130,9 +139,10 @@ type StageShard struct {
 	spec  hw.GPU
 	gpn   int
 
-	mu  sync.RWMutex
-	m   map[stageKey]exec.StageMeasure
-	ops map[opCtxKey]*opCtx
+	mu    sync.RWMutex
+	m     map[stageKey]exec.StageMeasure
+	ops   map[opCtxKey]*opCtx
+	dirty bool // has measurements the backing store has not seen
 }
 
 // StageShard returns (creating on first use) the shard for a measurement
@@ -162,6 +172,10 @@ func (c *Cache) StageShard(g *model.Graph, spec hw.GPU, gpusPerNode int) *StageS
 		m:   map[stageKey]exec.StageMeasure{},
 		ops: map[opCtxKey]*opCtx{},
 	}
+	// First resolution of this measurement context: hydrate it from the
+	// backing store (one targeted object read; contexts the session never
+	// touches are never read).
+	c.loadShardLocked(sh)
 	c.shards[key] = sh
 	return sh
 }
@@ -202,6 +216,7 @@ func (sh *StageShard) Measure(st parallel.StagePlan, microSamples float64) exec.
 	ctx.mu.Unlock()
 	sh.mu.Lock()
 	sh.m[key] = m
+	sh.dirty = true
 	sh.mu.Unlock()
 	sh.cache.stageMisses.Add(1)
 	return m
@@ -242,6 +257,11 @@ func (c *Cache) Evaluate(g *model.Graph, p *parallel.Plan, spec hw.GPU, globalBa
 	if gpusPerNode < 1 {
 		gpusPerNode = spec.GPUsPerNode // match StageShard: one key per context
 	}
+	// Resolve the measurement context first: with a backing store this
+	// hydrates the context's persisted plan evaluations (and stage/op
+	// memo) before the lookup below, so a warm store serves the plan
+	// without re-evaluating.
+	sh := c.StageShard(g, spec, gpusPerNode)
 	key := planKey{
 		graph: g.Name, sig: parallel.StagesKey(p.Stages) + "#" + strconv.Itoa(p.NumMicrobatches),
 		gpu: spec.Name, globalBatch: globalBatch, gpusPerNode: gpusPerNode,
@@ -263,6 +283,9 @@ func (c *Cache) Evaluate(g *model.Graph, p *parallel.Plan, spec hw.GPU, globalBa
 	c.mu.Lock()
 	c.plans[key] = res
 	c.mu.Unlock()
+	sh.mu.Lock()
+	sh.dirty = true
+	sh.mu.Unlock()
 	c.planMisses.Add(1)
 	return copyResult(res), nil
 }
@@ -301,11 +324,17 @@ func (c *Cache) Len() (stages, plans int) {
 }
 
 // Reset drops all memoized measurements and counters. Required after
-// mutating the bound engine's tunables.
+// mutating the bound engine's tunables; with a backing store it also
+// re-derives the engine fingerprint, so subsequent contexts hydrate from
+// (and save to) the retuned engine's own objects.
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	c.shards = map[shardKey]*StageShard{}
 	c.plans = map[planKey]exec.Result{}
+	if c.backing != nil {
+		c.engineFP = EngineFingerprint(c.eng)
+	}
+	c.loadStats = LoadStats{}
 	c.mu.Unlock()
 	c.stageHits.Store(0)
 	c.stageMisses.Store(0)

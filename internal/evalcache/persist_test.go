@@ -1,0 +1,261 @@
+package evalcache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/parallel"
+	"github.com/sjtu-epcc/arena/internal/store"
+)
+
+// populate measures a handful of stage candidates and one plan through the
+// cache, returning the inputs for later comparison.
+func populate(t *testing.T, c *Cache) (*model.Graph, hw.GPU, []parallel.StagePlan) {
+	t.Helper()
+	g, err := model.BuildClustered("GPT-1.3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := hw.MustLookup("A40")
+	stages := []parallel.StagePlan{
+		{OpStart: 0, OpEnd: 3, DP: 2, TP: 1},
+		{OpStart: 3, OpEnd: len(g.Ops), DP: 1, TP: 2},
+		{OpStart: 0, OpEnd: len(g.Ops), DP: 4, TP: 1},
+	}
+	for _, st := range stages {
+		c.MeasureStage(g, st, spec, 16, 0)
+	}
+	if _, err := c.Evaluate(g, parallel.PureDP(g, 4), spec, 128, 0); err != nil {
+		t.Fatal(err)
+	}
+	return g, spec, stages
+}
+
+// warmCache populates a cache bound to a fresh store and flushes it.
+func warmCache(t *testing.T, st *store.Store) (*model.Graph, hw.GPU, []parallel.StagePlan) {
+	t.Helper()
+	c := New(exec.NewEngine(42))
+	c.AttachStore(st)
+	g, spec, stages := populate(t, c)
+	if err := c.SaveStore(st); err != nil {
+		t.Fatal(err)
+	}
+	return g, spec, stages
+}
+
+// TestStoreRoundTrip proves the cross-process reuse story: a second cache
+// backed by the first one's store serves every measurement as a hit, and
+// the served values are bit-identical to direct engine measurements.
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, spec, stages := warmCache(t, st)
+
+	// A fresh process: new engine (same seed), new cache, warm store.
+	eng2 := exec.NewEngine(42)
+	c2 := New(eng2)
+	c2.AttachStore(st)
+	for _, sp := range stages {
+		got := c2.MeasureStage(g, sp, spec, 16, 0)
+		want := eng2.MeasureStage(g, sp, spec, 16, spec.GPUsPerNode)
+		if got != want {
+			t.Fatalf("restored measurement diverges for %+v: %+v vs %+v", sp, got, want)
+		}
+	}
+	if s := c2.Stats(); s.StageMisses != 0 {
+		t.Fatalf("warm cache re-measured %d stages", s.StageMisses)
+	}
+	stats := c2.StoreStats()
+	if len(stats.Skipped) != 0 {
+		t.Fatalf("unexpected skips: %v", stats.Skipped)
+	}
+	if stats.Shards == 0 || stats.Stages == 0 || stats.Ops == 0 || stats.Plans == 0 {
+		t.Fatalf("nothing restored: %+v", stats)
+	}
+
+	// A hit-only session is clean: SaveStore must leave the object
+	// byte-identical (no rewrite of unchanged contexts).
+	objs, err := st.List("eval")
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("want 1 eval object, got %v (%v)", objs, err)
+	}
+	path := filepath.Join(st.Dir(), "eval", string(objs[0])+".json")
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.SaveStore(st); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("clean context was rewritten on save")
+	}
+}
+
+// TestStorePlanOnlyUse proves a session that only evaluates plans — never
+// measuring stages directly — still hits the persisted plan memo (the
+// context hydrates when Evaluate resolves its shard).
+func TestStorePlanOnlyUse(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, spec, _ := warmCache(t, st)
+
+	c2 := New(exec.NewEngine(42))
+	c2.AttachStore(st)
+	if _, err := c2.Evaluate(g, parallel.PureDP(g, 4), spec, 128, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s := c2.Stats(); s.PlanMisses != 0 || s.PlanHits != 1 {
+		t.Fatalf("plan memo not restored: %+v", s)
+	}
+}
+
+// TestStoreRoundTripOpReuse proves the persisted op table serves stage
+// candidates that were never measured as whole stages: a new (range, DP)
+// sharing (tp, samples-per-replica) with stored ops assembles from them
+// bit-identically.
+func TestStoreRoundTripOpReuse(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, spec, _ := warmCache(t, st)
+
+	eng2 := exec.NewEngine(42)
+	c2 := New(eng2)
+	c2.AttachStore(st)
+	// (micro=16, DP=2, TP=1) shares spr=8 with the stored {0,3,DP2,TP1}
+	// context; the range differs, so this is a stage miss served from ops.
+	novel := parallel.StagePlan{OpStart: 1, OpEnd: 5, DP: 2, TP: 1}
+	got := c2.MeasureStage(g, novel, spec, 16, 0)
+	want := eng2.MeasureStage(g, novel, spec, 16, spec.GPUsPerNode)
+	if got != want {
+		t.Fatalf("op-assembled measurement diverges: %+v vs %+v", got, want)
+	}
+	if c2.StoreStats().Ops == 0 {
+		t.Fatal("op table was not restored")
+	}
+}
+
+// TestStoreForeignSeedIgnored verifies content addressing isolates seeds:
+// a cache on another seed derives different keys, so it neither restores
+// the foreign objects nor warns about them — they are simply not its.
+func TestStoreForeignSeedIgnored(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCache(t, st)
+
+	eng2 := exec.NewEngine(7)
+	c2 := New(eng2)
+	c2.AttachStore(st)
+	g, spec, _ := populate(t, c2)
+	_ = g
+	_ = spec
+	stats := c2.StoreStats()
+	if stats.Shards != 0 || stats.Stages != 0 {
+		t.Fatalf("foreign-seed objects restored: %+v", stats)
+	}
+	if len(stats.Skipped) != 0 {
+		t.Fatalf("healthy foreign objects must not warn: %v", stats.Skipped)
+	}
+	if s := c2.Stats(); s.StageMisses == 0 {
+		t.Fatal("other seed must measure cold")
+	}
+}
+
+// TestStoreRetunedEngineIgnored verifies the engine fingerprint isolates
+// tunable changes the same way: retuned engines derive different keys and
+// never see (or warn about) the old objects.
+func TestStoreRetunedEngineIgnored(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCache(t, st)
+
+	eng2 := exec.NewEngine(42)
+	eng2.BwdFactor = 2.5 // ablation-style retune
+	c2 := New(eng2)
+	c2.AttachStore(st)
+	populate(t, c2)
+	stats := c2.StoreStats()
+	if stats.Shards != 0 || len(stats.Skipped) != 0 {
+		t.Fatalf("retuned engine must neither restore nor warn: %+v", stats)
+	}
+}
+
+// TestStoreTruncatedObject verifies the corruption path: a truncated
+// object lands in StoreStats.Skipped as a typed *store.Error when its
+// context is resolved, and the session transparently re-measures.
+func TestStoreTruncatedObject(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCache(t, st)
+	entries, err := os.ReadDir(filepath.Join(dir, "eval"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		path := filepath.Join(dir, "eval", e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eng2 := exec.NewEngine(42)
+	c2 := New(eng2)
+	c2.AttachStore(st)
+	g, spec, stages := populate(t, c2)
+	stats := c2.StoreStats()
+	if stats.Shards != 0 {
+		t.Fatalf("truncated objects restored: %+v", stats)
+	}
+	if len(stats.Skipped) != 1 {
+		t.Fatalf("want 1 skip for the touched context, got %v", stats.Skipped)
+	}
+	var se *store.Error
+	if !errors.As(stats.Skipped[0], &se) || !errors.Is(stats.Skipped[0], store.ErrCorrupt) {
+		t.Fatalf("want *store.Error wrapping ErrCorrupt, got %v", stats.Skipped[0])
+	}
+	// The rebuild path: values are freshly measured and correct.
+	if s := c2.Stats(); s.StageMisses == 0 {
+		t.Fatal("expected fresh measurements after corrupt store")
+	}
+	got := c2.MeasureStage(g, stages[0], spec, 16, 0)
+	want := eng2.MeasureStage(g, stages[0], spec, 16, spec.GPUsPerNode)
+	if got != want {
+		t.Fatalf("rebuild diverges: %+v vs %+v", got, want)
+	}
+	// SaveStore repairs the object for the next process.
+	if err := c2.SaveStore(st); err != nil {
+		t.Fatal(err)
+	}
+	c3 := New(exec.NewEngine(42))
+	c3.AttachStore(st)
+	c3.MeasureStage(g, stages[0], spec, 16, 0)
+	if s := c3.Stats(); s.StageMisses != 0 {
+		t.Fatal("repaired store should serve hits")
+	}
+}

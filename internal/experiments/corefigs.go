@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"sort"
@@ -17,7 +19,7 @@ import (
 // Fig14 reproduces the Pareto-frontier case study (§5.4, Fig. 14): within
 // a grid, every candidate partition is enumerated and measured; the proxy
 // plan's percentile position and fraction-of-optimal are reported.
-func (e *Env) Fig14() (*Table, error) {
+func (e *Env) Fig14(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig14",
 		Title:  "Pareto frontier deduction: proxy plan vs all plans in the grid",
@@ -87,7 +89,7 @@ func (e *Env) Fig14() (*Table, error) {
 
 // Fig15 compares Arena's pruned AP search against the full-space (Alpa)
 // search (§5.4, Fig. 15): plan quality and search-cost reduction.
-func (e *Env) Fig15() (*Table, error) {
+func (e *Env) Fig15(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig15",
 		Title:  "AP search with pruning vs Alpa full search",
@@ -108,7 +110,7 @@ func (e *Env) Fig15() (*Table, error) {
 		}
 		w := model.Workload{Model: m.name, GlobalBatch: m.gb}
 		for _, n := range []int{1, 2, 4, 8, 16} {
-			full, err := search.FullSearch(e.eng, g, spec, m.gb, n)
+			full, err := search.FullSearchCtx(ctx, e.eng, g, spec, m.gb, n, search.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -134,7 +136,7 @@ func (e *Env) Fig15() (*Table, error) {
 			if bestGP == nil {
 				continue
 			}
-			pruned, err := search.PrunedSearch(e.eng, g, spec, m.gb, n, bestGP)
+			pruned, err := search.PrunedSearchCtx(ctx, e.eng, g, spec, m.gb, n, bestGP, search.Options{})
 			if err != nil || !pruned.Feasible() {
 				continue
 			}
@@ -163,7 +165,7 @@ func (e *Env) Fig15() (*Table, error) {
 // Fig16 evaluates the disaggregated profiler (§5.5, Fig. 16): end-to-end
 // estimation error and GPU-time cost vs the direct-measurement Oracle,
 // per GPU count averaged across models.
-func (e *Env) Fig16() (*Table, error) {
+func (e *Env) Fig16(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig16",
 		Title:  "Disaggregated profiling: error rate and cost vs direct measurement",
@@ -259,7 +261,7 @@ func (e *Env) Fig16() (*Table, error) {
 // time across microbatch sizes and GPU counts (§5.7, Fig. 18), comparing
 // Arena's plan, the unpruned full-AP plan, and the baseline (Sia-style
 // over-allocation: 2× the GPUs under pure DP).
-func (e *Env) Fig18() (*Table, error) {
+func (e *Env) Fig18(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig18",
 		Title:  "GPT-2.6B training GPU-time breakdown on A40 (compute / communication)",
@@ -293,7 +295,7 @@ func (e *Env) Fig18() (*Table, error) {
 		if bestGP == nil {
 			return fmt.Errorf("fig18: no feasible grid for n=%d gb=%d", n, gb)
 		}
-		arena, err := search.PrunedSearch(e.eng, g, spec, gb, n, bestGP)
+		arena, err := search.PrunedSearchCtx(ctx, e.eng, g, spec, gb, n, bestGP, search.Options{})
 		if err != nil || !arena.Feasible() {
 			return fmt.Errorf("fig18: pruned search failed: %v", err)
 		}
@@ -301,7 +303,7 @@ func (e *Env) Fig18() (*Table, error) {
 			fmt.Sprintf("%.1f", arena.Result.ComputeGPUTime),
 			fmt.Sprintf("%.1f", arena.Result.CommGPUTime))
 
-		full, err := search.FullSearch(e.eng, g, spec, gb, n)
+		full, err := search.FullSearchCtx(ctx, e.eng, g, spec, gb, n, search.Options{})
 		if err == nil && full.Feasible() {
 			t.AddRow(sweep, setting, "arena-w/o-pruning", full.Plan.Degrees(),
 				fmt.Sprintf("%.1f", full.Result.ComputeGPUTime),
@@ -315,7 +317,7 @@ func (e *Env) Fig18() (*Table, error) {
 		if bn > 16 {
 			bn = 16
 		}
-		baseOut, err := search.FullSearch(e.eng, g, spec, gb, bn)
+		baseOut, err := search.FullSearchCtx(ctx, e.eng, g, spec, gb, bn, search.Options{})
 		if err == nil && baseOut.Feasible() {
 			t.AddRow(sweep, setting, "baseline(2x GPUs)", baseOut.Plan.Degrees(),
 				fmt.Sprintf("%.1f", baseOut.Result.ComputeGPUTime),

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/sjtu-epcc/arena/internal/core"
@@ -13,7 +15,7 @@ import (
 // the proxy selection rule (minimum computation bias first, as in §3.3,
 // vs. minimum communication load first) and the Pareto-frontier reduction
 // threshold, measured by the proxy's fraction of the grid optimum.
-func (e *Env) DesignAblation() (*Table, error) {
+func (e *Env) DesignAblation(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "design",
 		Title:  "Planner design-choice ablation: proxy rule and frontier threshold",

@@ -24,6 +24,7 @@ import (
 	"github.com/sjtu-epcc/arena/internal/sched"
 	"github.com/sjtu-epcc/arena/internal/sched/policy"
 	"github.com/sjtu-epcc/arena/internal/sim"
+	"github.com/sjtu-epcc/arena/internal/store"
 	"github.com/sjtu-epcc/arena/internal/trace"
 )
 
@@ -83,16 +84,20 @@ func (t *Table) Fprint(w io.Writer) {
 type Env struct {
 	Seed uint64
 
+	// StoreDir, when non-empty, persists the performance databases the
+	// experiments build through the content-addressed measurement store:
+	// one object per workload column, shared across experiments and runs,
+	// with partial rebuilds when only some columns are missing.
+	StoreDir string
+
 	// DBCacheDir, when non-empty, persists every performance database the
 	// experiments build as a JSON snapshot under this directory (one file
 	// per seed × GPU-type set) and reloads matching snapshots on later
 	// runs, skipping the rebuild entirely.
+	//
+	// Deprecated: use StoreDir. Kept as a working shim; ignored when
+	// StoreDir is also set.
 	DBCacheDir string
-
-	// Ctx, when non-nil, cancels in-flight database builds: experiments
-	// observe it through Env.DB. (A field rather than a parameter because
-	// the Experiment.Run registry signature predates cancellation.)
-	Ctx context.Context
 
 	// Workers caps database-build worker pools; 0 = all cores.
 	Workers int
@@ -103,10 +108,11 @@ type Env struct {
 	// tool-prefixed message.
 	SnapshotWarn func(error)
 
-	mu   sync.Mutex
-	eng  *exec.Engine
-	comm map[string]*profiler.CommTable
-	dbs  map[string]*perfdb.DB
+	mu    sync.Mutex
+	eng   *exec.Engine
+	comm  map[string]*profiler.CommTable
+	dbs   map[string]*perfdb.DB
+	store *store.Store // lazily opened StoreDir; nil until first DB call
 }
 
 // NewEnv returns an experiment environment with the given determinism seed.
@@ -140,8 +146,11 @@ func (e *Env) CommTable(types []string) (*profiler.CommTable, error) {
 }
 
 // DB returns (building on first use) the performance database for a set
-// of GPU types over the default trace workload mix.
-func (e *Env) DB(types []string) (*perfdb.DB, error) {
+// of GPU types over the default trace workload mix. The build is
+// cancelled through ctx; persistence goes through StoreDir (per-workload
+// columns, partial rebuilds) or, as a deprecated fallback, DBCacheDir
+// (all-or-nothing JSON snapshots).
+func (e *Env) DB(ctx context.Context, types []string) (*perfdb.DB, error) {
 	key := strings.Join(types, ",")
 	e.mu.Lock()
 	if db, ok := e.dbs[key]; ok {
@@ -149,33 +158,75 @@ func (e *Env) DB(types []string) (*perfdb.DB, error) {
 		return db, nil
 	}
 	e.mu.Unlock()
-	ctx := e.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	db, _, err := perfdb.BuildOrLoadCtx(ctx, e.eng, perfdb.Options{
+	opts := perfdb.Options{
 		Seed:      e.Seed,
 		GPUTypes:  types,
 		MaxN:      16,
 		Workloads: trace.DefaultWorkloads(),
 		Workers:   e.Workers,
-	}, e.dbSnapshotPath(types))
+	}
+	var db *perfdb.DB
+	var err error
+	if st := e.openStore(); st != nil {
+		var stats perfdb.StoreStats
+		db, stats, err = perfdb.BuildOrLoadStore(ctx, e.eng, opts, st)
+		for _, serr := range stats.Skipped {
+			e.warn(fmt.Errorf("%v (column rebuilt)", serr))
+		}
+	} else {
+		db, _, err = perfdb.BuildOrLoadCtx(ctx, e.eng, opts, e.dbSnapshotPath(types))
+	}
 	if err != nil {
-		// A failed snapshot write still returns a usable database;
-		// experiments only lose the cross-run cache, not correctness.
+		// A failed snapshot or column write still returns a usable
+		// database; experiments only lose the cross-run cache, not
+		// correctness.
 		if db == nil {
 			return nil, err
 		}
-		if e.SnapshotWarn != nil {
-			e.SnapshotWarn(err)
-		} else {
-			fmt.Fprintf(os.Stderr, "experiments: warning: %v (continuing with the built database)\n", err)
-		}
+		e.warn(err)
 	}
 	e.mu.Lock()
 	e.dbs[key] = db
 	e.mu.Unlock()
 	return db, nil
+}
+
+// warn routes a persistence warning through SnapshotWarn or stderr.
+func (e *Env) warn(err error) {
+	if e.SnapshotWarn != nil {
+		e.SnapshotWarn(err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "experiments: warning: %v (continuing with the built database)\n", err)
+}
+
+// openStore lazily opens StoreDir, warning once and falling back to the
+// legacy path when the directory is unusable (the store is only a cache).
+func (e *Env) openStore() *store.Store {
+	e.mu.Lock()
+	dir, st := e.StoreDir, e.store
+	e.mu.Unlock()
+	if dir == "" || st != nil {
+		return st
+	}
+	opened, err := store.Open(dir)
+	if err != nil {
+		e.warn(err)
+		e.mu.Lock()
+		e.StoreDir = ""
+		e.mu.Unlock()
+		return nil
+	}
+	e.mu.Lock()
+	if e.store == nil {
+		e.store = opened
+	}
+	st = e.store
+	e.mu.Unlock()
+	return st
 }
 
 // dbSnapshotPath names the snapshot file for a GPU-type set, or "" when
@@ -200,12 +251,13 @@ func Policies() []sched.Policy {
 }
 
 // runPolicies executes one trace under every policy and returns the
-// results keyed by policy name, plus the name order.
-func (e *Env) runPolicies(spec hw.ClusterSpec, jobs []trace.Job, db *perfdb.DB, maxRounds int, pols []sched.Policy) (map[string]*sim.Result, []string, error) {
+// results keyed by policy name, plus the name order. Cancelling ctx
+// aborts between and within policy runs.
+func (e *Env) runPolicies(ctx context.Context, spec hw.ClusterSpec, jobs []trace.Job, db *perfdb.DB, maxRounds int, pols []sched.Policy) (map[string]*sim.Result, []string, error) {
 	results := map[string]*sim.Result{}
 	var order []string
 	for _, p := range pols {
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunCtx(ctx, sim.Config{
 			Spec: spec, Policy: p, Jobs: jobs, DB: db,
 			RoundSeconds: 300, MaxRounds: maxRounds,
 			IncludeUnfinished: true, Seed: e.Seed,

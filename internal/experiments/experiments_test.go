@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+
 	"strconv"
 	"strings"
 	"testing"
@@ -57,7 +60,7 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestFig6RunsAndShowsBalanceEffect(t *testing.T) {
 	env := NewEnv(42)
-	tbl, err := env.Fig6()
+	tbl, err := env.Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +71,7 @@ func TestFig6RunsAndShowsBalanceEffect(t *testing.T) {
 
 func TestFig14ProxyNearOptimal(t *testing.T) {
 	env := NewEnv(42)
-	tbl, err := env.Fig14()
+	tbl, err := env.Fig14(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +94,7 @@ func TestFig14ProxyNearOptimal(t *testing.T) {
 
 func TestFig15QualityAndCostCut(t *testing.T) {
 	env := NewEnv(42)
-	tbl, err := env.Fig15()
+	tbl, err := env.Fig15(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +105,7 @@ func TestFig15QualityAndCostCut(t *testing.T) {
 
 func TestFig2OptimalPlansShift(t *testing.T) {
 	env := NewEnv(42)
-	tbl, err := env.Fig2()
+	tbl, err := env.Fig2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,5 +119,24 @@ func TestFig2OptimalPlansShift(t *testing.T) {
 	}
 	if len(plans) < 2 {
 		t.Errorf("no plan dynamicity in panel (a): %v", plans)
+	}
+}
+
+// TestRunCancelsMidFigure is the registry-migration guarantee: every
+// experiment observes its context, so arena-bench's ^C aborts mid-figure —
+// not only mid-DB-build — with ctx.Err() and no table.
+func TestRunCancelsMidFigure(t *testing.T) {
+	env := NewEnv(42)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"fig2", "fig3", "fig11", "fig15"} {
+		ex, err := env.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := ex.Run(ctx)
+		if tbl != nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: want canceled run, got table=%v err=%v", id, tbl, err)
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/sjtu-epcc/arena/internal/hw"
@@ -15,7 +17,7 @@ import (
 // Fig2 benchmarks adaptive parallelism across (a) GPU amount, (b) GPU
 // type, and (c) interconnect, annotating the searched optimal plan —
 // demonstrating AP's dynamicity across hardware (§2.2, Fig. 2).
-func (e *Env) Fig2() (*Table, error) {
+func (e *Env) Fig2(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig2",
 		Title:  "AP throughput and optimal plan across amount / type / interconnect",
@@ -81,7 +83,7 @@ func (e *Env) Fig2() (*Table, error) {
 		if gpn == 0 {
 			gpn = spec.GPUsPerNode
 		}
-		out, err := search.FullSearchWithNodes(e.eng, g, spec, c.gb, c.n, gpn)
+		out, err := search.FullSearchCtx(ctx, e.eng, g, spec, c.gb, c.n, search.Options{GPUsPerNode: gpn})
 		if err != nil {
 			return nil, err
 		}
@@ -99,13 +101,13 @@ func (e *Env) Fig2() (*Table, error) {
 // Fig3 reproduces the DP-view vs AP-view scheduling case study (§2.2,
 // Fig. 3): cluster-level plan selection inverts between the two views,
 // and DP's memory demands hide dense allocations (OOM bars).
-func (e *Env) Fig3() (*Table, error) {
+func (e *Env) Fig3(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig3",
 		Title:  "Scheduling plan selection: static-DP view vs adaptive-parallelism view",
 		Header: []string{"panel", "plan", "DP-view(sum thr)", "AP-view(sum thr)", "notes"},
 	}
-	db, err := e.DB([]string{"A100", "V100"})
+	db, err := e.DB(ctx, []string{"A100", "V100"})
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +180,7 @@ func (e *Env) Fig3() (*Table, error) {
 // Fig6 evaluates stage-partition balance at a fixed pipeline degree
 // (§3.2, Fig. 6): balanced 2-stage partitions beat imbalanced ones, and
 // the best 2-stage plan can beat the 1-stage (perfectly "balanced") case.
-func (e *Env) Fig6() (*Table, error) {
+func (e *Env) Fig6(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig6",
 		Title:  "Throughput vs stage partition ratio (2 stages, 4xA40) and the 1-stage reference",
@@ -240,13 +242,13 @@ func (e *Env) Fig6() (*Table, error) {
 // EtaKnob reproduces the §2.3 strawman analysis: the error of Sia's
 // linear estimation vs GPU count, and cluster throughput as the η knob
 // sweeps from stock linear estimation (η=1) to fully precise data (η=5).
-func (e *Env) EtaKnob() (*Table, error) {
+func (e *Env) EtaKnob(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "eta",
 		Title:  "Sia's bootstrapped linear estimation: per-point error and the η precision knob",
 		Header: []string{"metric", "setting", "value"},
 	}
-	db, err := e.DB(hw.ClusterSim().GPUTypes())
+	db, err := e.DB(ctx, hw.ClusterSim().GPUTypes())
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +280,7 @@ func (e *Env) EtaKnob() (*Table, error) {
 		p := policy.NewSia()
 		p.Eta = eta
 		p.DisableRefinement = true
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunCtx(ctx, sim.Config{
 			Spec: spec, Policy: p, Jobs: jobs, DB: db,
 			RoundSeconds: 300, MaxRounds: 2 * window,
 			IncludeUnfinished: true, Seed: e.Seed,

@@ -1,12 +1,18 @@
 package experiments
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
-// Experiment pairs an identifier with its generator.
+// Experiment pairs an identifier with its generator. Run observes ctx:
+// cancelling it aborts the experiment mid-figure — in-flight database
+// builds, searches and simulations all stop within one worker-pool
+// quantum and Run returns ctx.Err().
 type Experiment struct {
 	ID    string
 	Brief string
-	Run   func() (*Table, error)
+	Run   func(context.Context) (*Table, error)
 }
 
 // Registry lists every reproducible experiment in paper order.

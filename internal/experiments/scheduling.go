@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/sjtu-epcc/arena/internal/hw"
@@ -23,7 +25,7 @@ func (e *Env) testbedTrace(spec hw.ClusterSpec, scale float64) ([]trace.Job, err
 // Fig10 runs the real-testbed comparison (§5.2, Fig. 10): JCT, queuing
 // time and cluster throughput for five schedulers on Cluster-A and
 // Cluster-B.
-func (e *Env) Fig10() (*Table, error) {
+func (e *Env) Fig10(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig10",
 		Title:  "Testbed comparison: JCT, queuing time, throughput (Cluster-A and Cluster-B)",
@@ -40,11 +42,11 @@ func (e *Env) Fig10() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		db, err := e.DB(tc.spec.GPUTypes())
+		db, err := e.DB(ctx, tc.spec.GPUTypes())
 		if err != nil {
 			return nil, err
 		}
-		results, order, err := e.runPolicies(tc.spec, jobs, db, 0, Policies())
+		results, order, err := e.runPolicies(ctx, tc.spec, jobs, db, 0, Policies())
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +79,7 @@ func (e *Env) simWeekTrace(jobs int) ([]trace.Job, hw.ClusterSpec, error) {
 // Fig11 reports the cluster-throughput time series of the week-long
 // simulation (§5.3, Fig. 11), bucketed per half-day, with the low-load
 // and heavy-load phases summarized.
-func (e *Env) Fig11() (*Table, error) {
+func (e *Env) Fig11(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig11",
 		Title:  "Cluster throughput over one week, 1280-GPU simulated cluster (per half-day buckets)",
@@ -87,12 +89,12 @@ func (e *Env) Fig11() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := e.DB(spec.GPUTypes())
+	db, err := e.DB(ctx, spec.GPUTypes())
 	if err != nil {
 		return nil, err
 	}
 	window := int(7 * 24 * 3600 / 300)
-	results, order, err := e.runPolicies(spec, jobs, db, 2*window, Policies())
+	results, order, err := e.runPolicies(ctx, spec, jobs, db, 2*window, Policies())
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +124,7 @@ func (e *Env) Fig11() (*Table, error) {
 
 // Fig12 reports the numerical comparison of the week-long simulation
 // (§5.3, Fig. 12): JCT CDF points, finished jobs, average/peak throughput.
-func (e *Env) Fig12() (*Table, error) {
+func (e *Env) Fig12(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig12",
 		Title:  "Large-scale simulation: JCT distribution, finished jobs, throughput",
@@ -132,12 +134,12 @@ func (e *Env) Fig12() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := e.DB(spec.GPUTypes())
+	db, err := e.DB(ctx, spec.GPUTypes())
 	if err != nil {
 		return nil, err
 	}
 	window := int(7 * 24 * 3600 / 300)
-	results, order, err := e.runPolicies(spec, jobs, db, 2*window, Policies())
+	results, order, err := e.runPolicies(ctx, spec, jobs, db, 2*window, Policies())
 	if err != nil {
 		return nil, err
 	}
@@ -159,14 +161,14 @@ func (e *Env) Fig12() (*Table, error) {
 
 // Fig13 runs the Helios (moderate) and PAI (light) day traces (§5.3,
 // Fig. 13).
-func (e *Env) Fig13() (*Table, error) {
+func (e *Env) Fig13(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig13",
 		Title:  "Helios (moderate load) and PAI (light load) traces on the simulated cluster",
 		Header: []string{"trace", "policy", "avgJCT(s)", "JCT-vs-FCFS", "avgThr", "thr-x", "peakThr"},
 	}
 	spec := hw.ClusterSim()
-	db, err := e.DB(spec.GPUTypes())
+	db, err := e.DB(ctx, spec.GPUTypes())
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +186,7 @@ func (e *Env) Fig13() (*Table, error) {
 			return nil, err
 		}
 		window := int(24 * 3600 / 300)
-		results, order, err := e.runPolicies(spec, jobs, db, 4*window, Policies())
+		results, order, err := e.runPolicies(ctx, spec, jobs, db, 4*window, Policies())
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +206,7 @@ func (e *Env) Fig13() (*Table, error) {
 
 // Fig17 is the component ablation (§5.7, Fig. 17): Arena with each
 // component disabled, against full Arena and FCFS.
-func (e *Env) Fig17() (*Table, error) {
+func (e *Env) Fig17(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig17",
 		Title:  "Performance breakdown: disabling Arena components one at a time",
@@ -214,7 +216,7 @@ func (e *Env) Fig17() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := e.DB(spec.GPUTypes())
+	db, err := e.DB(ctx, spec.GPUTypes())
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +230,7 @@ func (e *Env) Fig17() (*Table, error) {
 		policy.NewFCFS(),
 	}
 	window := int(7 * 24 * 3600 / 300)
-	results, order, err := e.runPolicies(spec, jobs, db, 2*window, variants)
+	results, order, err := e.runPolicies(ctx, spec, jobs, db, 2*window, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -247,14 +249,14 @@ func (e *Env) Fig17() (*Table, error) {
 
 // Fig19 sweeps job lifespans and compares Arena's scheduler alone
 // (scheduling on DP performance data like the baselines, §5.7, Fig. 19).
-func (e *Env) Fig19() (*Table, error) {
+func (e *Env) Fig19(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig19",
 		Title:  "Arena-Sched (scheduler only, DP performance data) vs baselines over job lifespan scaling",
 		Header: []string{"lifespan-x", "policy", "avgThr", "thr-vs-FCFS"},
 	}
 	spec := hw.ClusterSim()
-	db, err := e.DB(spec.GPUTypes())
+	db, err := e.DB(ctx, spec.GPUTypes())
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +275,7 @@ func (e *Env) Fig19() (*Table, error) {
 			policy.NewSia(), arenaSched,
 		}
 		window := int(7 * 24 * 3600 / 300)
-		results, order, err := e.runPolicies(spec, jobs, db, 2*window, pols)
+		results, order, err := e.runPolicies(ctx, spec, jobs, db, 2*window, pols)
 		if err != nil {
 			return nil, err
 		}
@@ -294,7 +296,7 @@ func (e *Env) Fig19() (*Table, error) {
 
 // Deadline evaluates deadline-aware scheduling (§5.6): Arena's deadline
 // objective vs ElasticFlow on a deadline-bearing trace.
-func (e *Env) Deadline() (*Table, error) {
+func (e *Env) Deadline(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "ddl",
 		Title:  "Deadline-aware scheduling: Arena (deadline objective) vs ElasticFlow",
@@ -307,14 +309,14 @@ func (e *Env) Deadline() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := e.DB(spec.GPUTypes())
+	db, err := e.DB(ctx, spec.GPUTypes())
 	if err != nil {
 		return nil, err
 	}
 	arenaDDL := sched.NewArena()
 	arenaDDL.Objective = sched.ObjDeadline
 	pols := []sched.Policy{policy.NewElasticFlow(), arenaDDL}
-	results, order, err := e.runPolicies(spec, jobs, db, 0, pols)
+	results, order, err := e.runPolicies(ctx, spec, jobs, db, 0, pols)
 	if err != nil {
 		return nil, err
 	}
@@ -333,7 +335,7 @@ func (e *Env) Deadline() (*Table, error) {
 
 // Fidelity compares the coarse 5-minute simulator against a fine-grained
 // noisy "testbed" configuration sharing the same policy code (§5.2).
-func (e *Env) Fidelity() (*Table, error) {
+func (e *Env) Fidelity(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fidelity",
 		Title:  "Simulation fidelity: 5-min rounds (sim) vs 60s rounds + measurement noise (testbed-like)",
@@ -344,21 +346,21 @@ func (e *Env) Fidelity() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := e.DB(spec.GPUTypes())
+	db, err := e.DB(ctx, spec.GPUTypes())
 	if err != nil {
 		return nil, err
 	}
 	var thrErrSum, jctErrSum float64
 	var count int
 	for _, p := range Policies() {
-		coarse, err := sim.Run(sim.Config{
+		coarse, err := sim.RunCtx(ctx, sim.Config{
 			Spec: spec, Policy: p, Jobs: jobs, DB: db,
 			RoundSeconds: 300, IncludeUnfinished: true, Seed: e.Seed,
 		})
 		if err != nil {
 			return nil, err
 		}
-		fine, err := sim.Run(sim.Config{
+		fine, err := sim.RunCtx(ctx, sim.Config{
 			Spec: spec, Policy: p, Jobs: jobs, DB: db,
 			RoundSeconds: 100, ThroughputNoise: 0.03,
 			IncludeUnfinished: true, Seed: e.Seed,
@@ -384,14 +386,14 @@ func (e *Env) Fidelity() (*Table, error) {
 
 // Sensitivity sweeps the priority-queue count P and scaling search depth D
 // (§5.8) on a reduced simulated workload.
-func (e *Env) Sensitivity() (*Table, error) {
+func (e *Env) Sensitivity(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "sens",
 		Title:  "Sensitivity: priority queues P and scaling search depth D",
 		Header: []string{"knob", "value", "avgJCT(s)", "avgThr"},
 	}
 	spec := hw.ClusterSim()
-	db, err := e.DB(spec.GPUTypes())
+	db, err := e.DB(ctx, spec.GPUTypes())
 	if err != nil {
 		return nil, err
 	}
@@ -408,7 +410,7 @@ func (e *Env) Sensitivity() (*Table, error) {
 	}
 	window := int(7 * 24 * 3600 / 300)
 	run := func(p *sched.ArenaPolicy, js []trace.Job) (*sim.Result, error) {
-		return sim.Run(sim.Config{
+		return sim.RunCtx(ctx, sim.Config{
 			Spec: spec, Policy: p, Jobs: js, DB: db,
 			RoundSeconds: 300, MaxRounds: 2 * window,
 			IncludeUnfinished: true, Seed: e.Seed,
@@ -440,14 +442,14 @@ func (e *Env) Sensitivity() (*Table, error) {
 
 // Overheads summarizes the system-overhead analysis of §5.8: profiling,
 // rescheduling, and offline communication sampling.
-func (e *Env) Overheads() (*Table, error) {
+func (e *Env) Overheads(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "overheads",
 		Title:  "System overheads (§5.8)",
 		Header: []string{"overhead", "workload", "value"},
 	}
 	types := hw.ClusterSim().GPUTypes()
-	db, err := e.DB(types)
+	db, err := e.DB(ctx, types)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,300 @@
+// Package store is a content-addressed, versioned, on-disk object store —
+// the persistence substrate under the measurement caches (the evalcache's
+// op/stage memo tables and the perfdb's per-workload columns). It knows
+// nothing about either client: it stores JSON payloads under keys that the
+// clients derive by hashing the inputs that determine the payload (engine
+// seed and tunables, model-graph fingerprint, GPU spec, workload params,
+// schema version).
+//
+// Content addressing is what makes invalidation free: when any input
+// changes — a model definition, a device spec, the schema — the derived
+// key changes with it, so stale objects are simply never looked up again.
+// There is no mtime logic, no manual cache busting, and two processes (or
+// two seeds) whose inputs are content-identical share objects.
+//
+// On disk a store is a directory:
+//
+//	dir/
+//	  MANIFEST.json          {"version": 1}
+//	  <domain>/<key>.json    one object per key
+//
+// Every object is an envelope carrying the store schema version, the key
+// it was written under, and a checksum of the payload, so torn or tampered
+// files are detected on read instead of poisoning results. Writes are
+// atomic (temp file + rename in the target directory), which makes
+// concurrent writers safe: the last complete write wins and a reader never
+// observes a partial object.
+//
+// All read-side failures are reported as a *Error wrapping one of the
+// sentinel errors (ErrNotFound, ErrSchema, ErrCorrupt, ErrKeyMismatch), so
+// callers can route each object onto the rebuild-and-warn path — the same
+// convention perfdb.SnapshotError established: persistence is a cache
+// concern and must never abort work that can be recomputed.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Version is the store schema version; bump on incompatible envelope or
+// layout change. It is also hashed into every client key, so a bump
+// invalidates all prior objects without touching them.
+const Version = 1
+
+// Sentinel errors distinguishing read-side failure modes; always wrapped
+// in a *Error, test with errors.Is.
+var (
+	// ErrNotFound marks a key with no stored object — the ordinary cache
+	// miss, not a failure.
+	ErrNotFound = errors.New("object not found")
+	// ErrSchema marks a store or object written under a different schema
+	// version.
+	ErrSchema = errors.New("schema version mismatch")
+	// ErrCorrupt marks an unparseable or checksum-failing object (torn
+	// write, truncation, external modification).
+	ErrCorrupt = errors.New("corrupt object")
+	// ErrKeyMismatch marks an object whose embedded key differs from the
+	// one it was looked up under (renamed or misplaced file).
+	ErrKeyMismatch = errors.New("key mismatch")
+)
+
+// Error reports one store operation failure with enough context to warn
+// usefully. Unwrap exposes the sentinel (or underlying I/O) cause.
+type Error struct {
+	Op   string // "open", "get", "put", "list"
+	Path string // file or directory involved
+	Err  error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("store: %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Key addresses one object: the hex digest of the canonical encoding of
+// everything that determines the object's content.
+type Key string
+
+// NewKey derives a key from a domain label and the ordered fields that
+// determine the object. Fields are length-prefixed before hashing so
+// distinct field lists can never collide by concatenation.
+func NewKey(domain string, fields ...string) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s", len(domain), domain)
+	for _, f := range fields {
+		fmt.Fprintf(h, "%d:%s", len(f), f)
+	}
+	return Key(hex.EncodeToString(h.Sum(nil))[:32])
+}
+
+// valid reports whether k looks like a NewKey product; it guards file-path
+// construction against injection through hand-built keys.
+func (k Key) valid() bool {
+	if len(k) != 32 {
+		return false
+	}
+	for _, c := range k {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Store is an open store directory. The zero value is not usable;
+// construct with Open. A Store is safe for concurrent use by multiple
+// goroutines and multiple processes.
+type Store struct {
+	dir string
+}
+
+// manifest is the store-level version stamp.
+type manifest struct {
+	Version int `json:"version"`
+}
+
+// Open opens (creating if needed) the store at dir. A directory written by
+// a different schema version yields a *Error wrapping ErrSchema — the
+// caller decides whether to warn and continue without persistence or to
+// abort; Open never deletes existing data.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, &Error{Op: "open", Path: dir, Err: errors.New("empty store directory")}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, &Error{Op: "open", Path: dir, Err: err}
+	}
+	mpath := filepath.Join(dir, "MANIFEST.json")
+	data, err := os.ReadFile(mpath)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		if err := writeAtomic(mpath, mustJSON(manifest{Version: Version})); err != nil {
+			return nil, &Error{Op: "open", Path: mpath, Err: err}
+		}
+	case err != nil:
+		return nil, &Error{Op: "open", Path: mpath, Err: err}
+	default:
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, &Error{Op: "open", Path: mpath, Err: fmt.Errorf("%w: %v", ErrCorrupt, err)}
+		}
+		if m.Version != Version {
+			return nil, &Error{Op: "open", Path: mpath, Err: fmt.Errorf("%w: store has v%d, this build writes v%d", ErrSchema, m.Version, Version)}
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// envelope is the on-disk frame around every object payload.
+type envelope struct {
+	Version int             `json:"version"`
+	Key     Key             `json:"key"`
+	Sum     string          `json:"sum"` // sha256 of Payload bytes
+	Payload json.RawMessage `json:"payload"`
+}
+
+// objectPath names the file for a (domain, key) pair.
+func (s *Store) objectPath(domain string, k Key) string {
+	return filepath.Join(s.dir, domain, string(k)+".json")
+}
+
+// Put stores v (JSON-marshaled) under (domain, key), atomically replacing
+// any previous object. Concurrent Puts to the same key are safe; the last
+// complete write wins.
+func (s *Store) Put(domain string, k Key, v any) error {
+	if !k.valid() {
+		return &Error{Op: "put", Path: domain, Err: fmt.Errorf("invalid key %q", k)}
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return &Error{Op: "put", Path: s.objectPath(domain, k), Err: err}
+	}
+	env := envelope{Version: Version, Key: k, Sum: payloadSum(payload), Payload: payload}
+	path := s.objectPath(domain, k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return &Error{Op: "put", Path: path, Err: err}
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return &Error{Op: "put", Path: path, Err: err}
+	}
+	if err := writeAtomic(path, data); err != nil {
+		return &Error{Op: "put", Path: path, Err: err}
+	}
+	return nil
+}
+
+// Get loads the object at (domain, key) into v. A missing object returns a
+// *Error wrapping ErrNotFound; a truncated, tampered or version-skewed
+// object returns a *Error wrapping ErrCorrupt / ErrKeyMismatch /
+// ErrSchema. The object file is never trusted: version, embedded key and
+// payload checksum are all verified before v sees a byte.
+func (s *Store) Get(domain string, k Key, v any) error {
+	if !k.valid() {
+		return &Error{Op: "get", Path: domain, Err: fmt.Errorf("invalid key %q", k)}
+	}
+	path := s.objectPath(domain, k)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &Error{Op: "get", Path: path, Err: ErrNotFound}
+	}
+	if err != nil {
+		return &Error{Op: "get", Path: path, Err: err}
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return &Error{Op: "get", Path: path, Err: fmt.Errorf("%w: %v", ErrCorrupt, err)}
+	}
+	if env.Version != Version {
+		return &Error{Op: "get", Path: path, Err: fmt.Errorf("%w: object has v%d, this build reads v%d", ErrSchema, env.Version, Version)}
+	}
+	if env.Key != k {
+		return &Error{Op: "get", Path: path, Err: fmt.Errorf("%w: object written under %s", ErrKeyMismatch, env.Key)}
+	}
+	if payloadSum(env.Payload) != env.Sum {
+		return &Error{Op: "get", Path: path, Err: fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)}
+	}
+	if err := json.Unmarshal(env.Payload, v); err != nil {
+		return &Error{Op: "get", Path: path, Err: fmt.Errorf("%w: %v", ErrCorrupt, err)}
+	}
+	return nil
+}
+
+// List returns the keys of every object file present in a domain, sorted
+// lexically. Files that do not look like object files are ignored; the
+// objects themselves are not validated (Get does that per object).
+func (s *Store) List(domain string) ([]Key, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, domain))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, &Error{Op: "list", Path: filepath.Join(s.dir, domain), Err: err}
+	}
+	var keys []Key
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok || e.IsDir() {
+			continue
+		}
+		if k := Key(name); k.valid() {
+			keys = append(keys, k)
+		}
+	}
+	return keys, nil
+}
+
+// payloadSum hashes a payload in canonical (compact) JSON form, so the
+// checksum is insensitive to whitespace introduced by envelope re-encoding.
+func payloadSum(payload []byte) string {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		// Not valid JSON: hash the raw bytes; Get's Unmarshal rejects it.
+		sum := sha256.Sum256(payload)
+		return hex.EncodeToString(sum[:])
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// writeAtomic writes data to path via a temp file + rename in the same
+// directory, so concurrent writers and crashed processes can never leave a
+// partial file under the final name.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".store-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// mustJSON marshals a value whose encoding cannot fail (static structs).
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}

@@ -20,6 +20,7 @@ type sessionConfig struct {
 	cluster   *ClusterSpec
 	cache     *EvalCache
 	snapshot  string
+	storeDir  string
 	progress  ProgressFunc
 }
 
@@ -98,9 +99,44 @@ func WithWorkloads(ws ...Workload) Option {
 	}
 }
 
+// WithStore attaches a content-addressed measurement store rooted at dir,
+// created on first use. It subsumes the WithEvalCache/WithPerfDBSnapshot
+// pairing with one persistent mechanism covering both layers:
+//
+//   - the session's stage/op/plan measurement memo hydrates from the
+//     store lazily — one object read per measurement context, on first
+//     use — and Close flushes back the contexts that gained
+//     measurements, so repeated CLI invocations skip even cold-search
+//     profiling while a large shared store costs only what the session
+//     actually touches;
+//   - BuildPerfDB persists the performance database per workload column
+//     and rebuilds only columns the store lacks, so adding one workload
+//     no longer forces a full rebuild.
+//
+// Objects are keyed by content (engine seed and tunables, model-graph and
+// device-spec fingerprints, workload params, schema version): changing any
+// input orphans exactly the objects it invalidates, and processes — or
+// differently configured sessions — whose inputs agree share objects.
+// Corrupt or stale objects are skipped and rebuilt (see EvalStoreStats /
+// PerfDBStoreStats), never served.
+//
+// An empty dir is a no-op. When both WithStore and WithPerfDBSnapshot are
+// given, the store serves BuildPerfDB and the snapshot path is ignored.
+func WithStore(dir string) Option {
+	return func(c *sessionConfig) error {
+		c.storeDir = dir
+		return nil
+	}
+}
+
 // WithEvalCache attaches an existing stage-measurement cache, sharing
 // memoized measurements with other sessions or call sites bound to an
 // engine with the same seed. The default is a fresh cache per session.
+//
+// Deprecated: in-process sharing still works, but for persistence across
+// processes use WithStore, which loads and flushes the memo through a
+// content-addressed on-disk store. The two compose: a shared cache is
+// warmed from the store when both are configured.
 func WithEvalCache(c *EvalCache) Option {
 	return func(cfg *sessionConfig) error {
 		cfg.cache = c
@@ -111,6 +147,12 @@ func WithEvalCache(c *EvalCache) Option {
 // WithPerfDBSnapshot persists the session's performance database as a
 // JSON snapshot at path: BuildPerfDB loads it when it matches the
 // session's request and writes it after a fresh build.
+//
+// Deprecated: use WithStore. The single-file snapshot is all-or-nothing —
+// one new workload, seed or GPU type forces a full rebuild — while the
+// store invalidates per workload column and shares content-identical
+// columns across requests. WithPerfDBSnapshot is kept as a working shim
+// and is ignored when WithStore is also configured.
 func WithPerfDBSnapshot(path string) Option {
 	return func(c *sessionConfig) error {
 		c.snapshot = path

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/evalcache"
 	"github.com/sjtu-epcc/arena/internal/exec"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/model"
@@ -15,6 +16,7 @@ import (
 	"github.com/sjtu-epcc/arena/internal/profiler"
 	"github.com/sjtu-epcc/arena/internal/search"
 	"github.com/sjtu-epcc/arena/internal/sim"
+	"github.com/sjtu-epcc/arena/internal/store"
 	"github.com/sjtu-epcc/arena/internal/trace"
 )
 
@@ -48,6 +50,10 @@ type Session struct {
 	planner *planner.Planner
 	cache   *EvalCache
 
+	// store is the content-addressed measurement store (nil without
+	// WithStore).
+	store *store.Store
+
 	progressMu sync.Mutex // serializes cfg.progress calls
 
 	mu    sync.Mutex // guards the lazy fields below
@@ -62,8 +68,19 @@ type Session struct {
 	dbMu           sync.Mutex
 	db             *perfdb.DB
 	dbFromSnapshot bool
+	dbStoreStats   PerfDBStoreStats
 	dbBuilding     chan struct{}
 }
+
+// EvalStoreStats reports what a session restored from its measurement
+// store at construction: counts of stage/op/plan measurements, plus typed
+// errors for objects that were skipped (corrupt, truncated or stale) and
+// will be transparently re-measured.
+type EvalStoreStats = evalcache.LoadStats
+
+// PerfDBStoreStats reports how BuildPerfDB was served from the store:
+// workload columns loaded vs built, plus typed errors for skipped objects.
+type PerfDBStoreStats = perfdb.StoreStats
 
 // New constructs a Session from functional options:
 //
@@ -108,7 +125,48 @@ func New(opts ...Option) (*Session, error) {
 		s.eng = exec.NewEngine(cfg.seed)
 		s.cache = NewEvalCache(s.eng)
 	}
+	if cfg.storeDir != "" {
+		st, err := store.Open(cfg.storeDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		// Hydration is lazy: each measurement context loads its store
+		// object when first resolved, so a large shared store costs the
+		// session only the contexts it actually touches.
+		s.cache.AttachStore(st)
+	}
 	return s, nil
+}
+
+// Close flushes the session's measurement memo to the configured store so
+// the next process starts warm; without WithStore it is a no-op. Closing
+// does not invalidate the session — it may keep measuring and Close again —
+// but callers should treat Close as the end of the session's lifecycle
+// (defer it next to New). The returned error, when non-nil, is a
+// *store-layer persistence failure; all measured results remain valid, so
+// callers typically warn and continue, exactly as with
+// perfdb.SnapshotError.
+func (s *Session) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.cache.SaveStore(s.store)
+}
+
+// EvalStoreStats reports what the session has restored from the
+// measurement store so far (zero without WithStore). Hydration is lazy —
+// per measurement context, on first use — so the counts grow as the
+// session works. Skipped entries are the warn-and-rebuild path: each
+// names one store object that was corrupt, truncated or misplaced.
+func (s *Session) EvalStoreStats() EvalStoreStats { return s.cache.StoreStats() }
+
+// PerfDBStoreStats reports how the last BuildPerfDB call was served from
+// the store (zero before the first call or without WithStore).
+func (s *Session) PerfDBStoreStats() PerfDBStoreStats {
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	return s.dbStoreStats
 }
 
 // MustNew is New or panic — for examples and tests where the options are
@@ -341,13 +399,17 @@ func (s *Session) Evaluate(ctx context.Context, g *Graph, p *Plan, gpuType strin
 
 // BuildPerfDB returns the session's performance database, building it on
 // first use over (GPU types × counts up to MaxN × workloads) — by far the
-// most expensive step of a simulator run. With WithPerfDBSnapshot it
-// loads a matching snapshot instead, and writes one after a fresh build.
+// most expensive step of a simulator run. With WithStore each workload
+// column is served from the content-addressed store when present and only
+// missing columns are built (and written back); with WithPerfDBSnapshot
+// it loads a matching all-or-nothing snapshot instead, and writes one
+// after a fresh build.
 //
-// A snapshot persistence failure returns the fully usable database
-// together with a *perfdb.SnapshotError-wrapped error; callers decide
-// whether to warn or abort. PerfDBFromSnapshot reports which path served
-// the call.
+// A snapshot or column persistence failure returns the fully usable
+// database together with a *perfdb.SnapshotError-wrapped error; callers
+// decide whether to warn or abort. PerfDBFromSnapshot reports which path
+// served the call, and PerfDBStoreStats breaks a store-served build down
+// by column.
 func (s *Session) BuildPerfDB(ctx context.Context) (*PerfDB, error) {
 	for {
 		if err := ctx.Err(); err != nil {
@@ -374,18 +436,30 @@ func (s *Session) BuildPerfDB(ctx context.Context) (*PerfDB, error) {
 		s.dbBuilding = building
 		s.dbMu.Unlock()
 
-		db, loaded, err := perfdb.BuildOrLoadCtx(ctx, s.eng, perfdb.Options{
+		opts := perfdb.Options{
 			Seed:      s.cfg.seed,
 			GPUTypes:  s.cfg.gpuTypes,
 			MaxN:      s.cfg.maxN,
 			Workloads: s.cfg.workloads,
 			Workers:   s.cfg.workers,
 			Progress:  s.progress(),
-		}, s.cfg.snapshot)
+		}
+		var (
+			db     *perfdb.DB
+			loaded bool
+			stats  perfdb.StoreStats
+			err    error
+		)
+		if s.store != nil {
+			db, stats, err = perfdb.BuildOrLoadStore(ctx, s.eng, opts, s.store)
+			loaded = stats.FromStore()
+		} else {
+			db, loaded, err = perfdb.BuildOrLoadCtx(ctx, s.eng, opts, s.cfg.snapshot)
+		}
 		s.dbMu.Lock()
 		s.dbBuilding = nil
 		if db != nil {
-			s.db, s.dbFromSnapshot = db, loaded
+			s.db, s.dbFromSnapshot, s.dbStoreStats = db, loaded, stats
 		}
 		s.dbMu.Unlock()
 		close(building)

@@ -121,3 +121,82 @@ func TestSessionStoreServesPerfDB(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionFirstPerfDBBuildReusesStoredMeasurements closes the
+// ROADMAP's last store gap: a session whose earlier searches persisted
+// op/stage measurements hands its store-hydrated eval cache to the
+// *first* performance-database build, so even a cold database (no
+// persisted columns yet) starts from warm measurements instead of
+// profiling every workload column from scratch — and stays
+// bit-identical to a storeless build.
+func TestSessionFirstPerfDBBuildReusesStoredMeasurements(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	w := arena.Workload{Model: "GPT-1.3B", GlobalBatch: 128}
+	opts := func(extra ...arena.Option) []arena.Option {
+		return append([]arena.Option{
+			arena.WithSeed(42),
+			arena.WithGPUTypes("A40"),
+			arena.WithMaxN(4),
+			arena.WithWorkloads(w),
+		}, extra...)
+	}
+
+	// Session 1: search only — persists measurements but never builds a
+	// database, so no perfdb column objects exist afterwards.
+	s1, err := arena.New(opts(arena.WithStore(dir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := arena.MustBuildModel(w.Model)
+	if _, err := s1.FullSearch(ctx, g, "A40", w.GlobalBatch, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2: its first database build must hydrate the persisted
+	// measurement contexts through the shared eval cache.
+	s2, err := arena.New(opts(arena.WithStore(dir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := s2.BuildPerfDB(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := s2.EvalStoreStats()
+	if stats.Ops == 0 && stats.Stages == 0 {
+		t.Fatalf("first build restored no measurements from the store: %+v", stats)
+	}
+	if len(stats.Skipped) > 0 {
+		t.Fatalf("store restore skipped objects: %v", stats.Skipped)
+	}
+	if colStats := s2.PerfDBStoreStats(); colStats.LoadedColumns != 0 || colStats.BuiltColumns == 0 {
+		t.Fatalf("expected a cold column build, got %+v", colStats)
+	}
+
+	// Reuse must not change a single bit vs a storeless session.
+	ref, err := arena.New(opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDB, err := ref.BuildPerfDB(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(db.Keys(), refDB.Keys()) {
+		t.Fatal("key sets diverged between store-warmed and cold builds")
+	}
+	for _, k := range refDB.Keys() {
+		a, _ := db.Entry(k.Workload, k.GPUType, k.N)
+		b, _ := refDB.Entry(k.Workload, k.GPUType, k.N)
+		if !reflect.DeepEqual(*a, *b) {
+			t.Fatalf("entry %v diverged between store-warmed and cold builds", k)
+		}
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

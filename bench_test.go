@@ -23,7 +23,10 @@ import (
 	"github.com/sjtu-epcc/arena/internal/perfdb"
 	"github.com/sjtu-epcc/arena/internal/planner"
 	"github.com/sjtu-epcc/arena/internal/profiler"
+	"github.com/sjtu-epcc/arena/internal/sched"
 	"github.com/sjtu-epcc/arena/internal/search"
+	"github.com/sjtu-epcc/arena/internal/sim"
+	"github.com/sjtu-epcc/arena/internal/trace"
 )
 
 var (
@@ -117,19 +120,48 @@ func BenchmarkEvaluatePlan(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanGrid compares the incremental prefix-DP partition
+// enumerator (default) against the exhaustive reference on the grid
+// columns a cold perfdb build actually plans: every (N, S) grid up to 16
+// GPUs for a memory-comfortable workload (GPT-1.3B on A40) and a
+// memory-tight one (MoE-10B on A10, where the DP's infeasible-subtree
+// skipping also engages). TestPrefixDPMatchesExhaustive proves the two
+// variants emit bit-identical GridPlans, so the ratio is pure speedup.
 func BenchmarkPlanGrid(b *testing.B) {
-	pl := planner.New()
-	g := arena.MustBuildModel("GPT-1.3B")
-	grid := core.Grid{
-		Workload: model.Workload{Model: "GPT-1.3B", GlobalBatch: 128},
-		GPUType:  "A40", N: 8, S: 4,
+	cases := []struct {
+		model string
+		gb    int
+		typ   string
+	}{
+		{"GPT-1.3B", 128, "A40"},
+		{"MoE-10B", 256, "A10"},
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := pl.PlanGrid(g, grid); err != nil {
-			b.Fatal(err)
+	type column struct {
+		g     *model.Graph
+		grids []core.Grid
+	}
+	var columns []column
+	for _, c := range cases {
+		g := arena.MustBuildModel(c.model)
+		w := model.Workload{Model: c.model, GlobalBatch: c.gb}
+		columns = append(columns, column{g: g, grids: core.Enumerate(w, len(g.Ops), []string{c.typ}, 16)})
+	}
+	run := func(b *testing.B, exhaustive bool) {
+		pl := planner.New()
+		pl.Exhaustive = exhaustive
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, col := range columns {
+				for _, grid := range col.grids {
+					if _, err := pl.PlanGrid(col.g, grid); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
 		}
 	}
+	b.Run("dp", func(b *testing.B) { run(b, false) })
+	b.Run("exhaustive", func(b *testing.B) { run(b, true) })
 }
 
 func BenchmarkFullSearch8GPU(b *testing.B) {
@@ -212,6 +244,62 @@ func BenchmarkBuildPerfDB(b *testing.B) {
 			}
 			if !loaded || db == nil {
 				b.Fatal("snapshot not used")
+			}
+		}
+	})
+}
+
+var (
+	simBenchOnce sync.Once
+	simBenchDB   *perfdb.DB
+	simBenchJobs []trace.Job
+	simBenchErr  error
+)
+
+// simBenchSetup builds the shared fixture of BenchmarkSimRun once per
+// process: a small database over the trace's workloads and a Philly-like
+// job arrival sequence, mirroring the simulator test setup.
+func simBenchSetup() {
+	simBenchOnce.Do(func() {
+		workloads := []model.Workload{
+			{Model: "WRes-1B", GlobalBatch: 256},
+			{Model: "GPT-1.3B", GlobalBatch: 128},
+			{Model: "GPT-2.6B", GlobalBatch: 128},
+		}
+		simBenchDB, simBenchErr = perfdb.Build(arena.NewEngine(42), perfdb.Options{
+			GPUTypes: []string{"A40", "A10"}, MaxN: 16, Workloads: workloads,
+		})
+		if simBenchErr != nil {
+			return
+		}
+		simBenchJobs, simBenchErr = trace.Generate(trace.Config{
+			Kind: trace.Philly, Duration: 3 * 3600, NumJobs: 40, Seed: 7,
+			GPUTypes: []string{"A40", "A10"}, MaxGPUs: 16,
+			Workloads: workloads,
+		})
+	})
+}
+
+// BenchmarkSimRun guards the discrete-event simulator's hot path: one
+// full Cluster-A run of the Arena scheduler over a 40-job Philly-like
+// trace against a prebuilt database (the database build is excluded —
+// BenchmarkBuildPerfDB guards that separately).
+func BenchmarkSimRun(b *testing.B) {
+	simBenchSetup()
+	if simBenchErr != nil {
+		b.Fatal(simBenchErr)
+	}
+	b.Run("arena", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{
+				Spec: hw.ClusterA(), Policy: sched.NewArena(), Jobs: simBenchJobs,
+				DB: simBenchDB, RoundSeconds: 300, IncludeUnfinished: true, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res == nil {
+				b.Fatal("nil simulation result")
 			}
 		}
 	})

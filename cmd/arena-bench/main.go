@@ -9,6 +9,7 @@
 //	arena-bench -fig fig11,fig12
 //	arena-bench -seed 7         # change the determinism seed
 //	arena-bench -fig fig11 -store ./measurements
+//	arena-bench -fig fig12 -v   # stream per-figure build/sim progress
 //
 // With -store, every performance database the experiments build persists
 // as content-addressed per-workload columns, so later runs — including
@@ -25,13 +26,15 @@ import (
 	"time"
 
 	"github.com/sjtu-epcc/arena/internal/cli"
+	"github.com/sjtu-epcc/arena/internal/core"
 	"github.com/sjtu-epcc/arena/internal/experiments"
 )
 
 func main() {
 	var (
-		figs = flag.String("fig", "all", "comma-separated experiment IDs, or 'all'")
-		list = flag.Bool("list", false, "list available experiments and exit")
+		figs    = flag.String("fig", "all", "comma-separated experiment IDs, or 'all'")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		verbose = flag.Bool("v", false, "stream per-figure build/simulation progress to stderr")
 	)
 	c := cli.CommonFlags()
 	flag.Parse()
@@ -41,6 +44,15 @@ func main() {
 	env.DBCacheDir = c.EffectiveDBCache()
 	env.Workers = c.Workers
 	env.SnapshotWarn = cli.WarnSnapshot
+	if *verbose {
+		env.Progress = func(ev core.Event) {
+			if ev.Total > 0 {
+				fmt.Fprintf(os.Stderr, "  [%s] %s (%d/%d)\n", ev.Step, ev.Item, ev.Done, ev.Total)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "  [%s] %s (%d)\n", ev.Step, ev.Item, ev.Done)
+		}
+	}
 	ctx := cli.Context()
 	if *list {
 		for _, ex := range env.Registry() {

@@ -1,0 +1,45 @@
+// Package evalcache provides a concurrency-safe memoization layer between
+// the AP searchers and the execution engine.
+//
+// The engine is a pure function of its seed: measuring the same stage
+// candidate (operator range × DP × TP on a given device, with the same
+// per-microbatch sample count and node packing) always returns the same
+// StageMeasure, and evaluating the same plan always returns the same
+// Result. The AP search, however, re-measures overlapping candidate sets
+// over and over — across the pipeline degrees of one search, across the
+// full and pruned searches of the same (workload, type, count) point, and
+// across every GPU count of one perfdb column (a stage candidate measured
+// for n=4 is byte-identical for n=8). On real hardware each of those
+// measurements is a compile-and-profile cycle; the paper's §2.3 puts the
+// un-memoized bill at "20 minutes per allocable resource".
+//
+// A Cache is bound to one engine and memoizes both measurement entry
+// points:
+//
+//   - MeasureStage — the per-candidate profiling step of the search,
+//     keyed by (graph, op range, DP, TP, device, micro-batch samples,
+//     GPUs per node);
+//   - Evaluate — end-to-end plan measurement, keyed by (graph, plan
+//     signature, device, global batch, GPUs per node).
+//
+// Stages assemble from memoized per-operator measurements (opCtxKey:
+// every op under (tp, samples-per-replica)), the op-level
+// compute-redundancy elimination of §3.4 — so the search's O(ranges ×
+// range-length) kernel measurements collapse to one per distinct
+// operator configuration.
+//
+// Because the underlying computation is pure, concurrent misses on the
+// same key are benign: both goroutines compute the identical value and
+// the last write wins. Graphs are identified by their Name, which the
+// model registry guarantees to determine the operator list; callers
+// constructing ad-hoc graphs must give distinct names. Mutating the
+// engine's tunables after populating a cache invalidates it — call Reset.
+//
+// AttachStore extends the memo across processes: each measurement
+// context hydrates lazily from a content-addressed store object on first
+// resolution, and SaveStore writes back only the contexts that gained
+// measurements. Keys hash everything that determines a measurement
+// (engine fingerprint, graph fingerprint, GPU spec, node packing, schema
+// version), so definition drift orphans old objects instead of serving
+// them; see persist.go for the exact rules.
+package evalcache

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/sjtu-epcc/arena/internal/core"
 	"github.com/sjtu-epcc/arena/internal/exec"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/model"
@@ -102,17 +103,26 @@ type Env struct {
 	// Workers caps database-build worker pools; 0 = all cores.
 	Workers int
 
+	// Progress, when non-nil, receives build and simulation progress
+	// events from the figures' Run(ctx) — one "perfdb.build" event per
+	// completed (workload, type, count) point and one "sim.round" event
+	// per scheduling round — the same stream arena.Session forwards.
+	// Builds fan out over worker pools, so Env serializes the callback;
+	// set it before the first Run call. cmd/arena-bench wires it to -v.
+	Progress core.ProgressFunc
+
 	// SnapshotWarn, when non-nil, receives snapshot persistence failures
 	// (the build itself succeeded); the default prints to stderr.
 	// cmd/arena-bench routes it through internal/cli for the uniform
 	// tool-prefixed message.
 	SnapshotWarn func(error)
 
-	mu    sync.Mutex
-	eng   *exec.Engine
-	comm  map[string]*profiler.CommTable
-	dbs   map[string]*perfdb.DB
-	store *store.Store // lazily opened StoreDir; nil until first DB call
+	mu         sync.Mutex
+	progressMu sync.Mutex // serializes Progress calls from worker pools
+	eng        *exec.Engine
+	comm       map[string]*profiler.CommTable
+	dbs        map[string]*perfdb.DB
+	store      *store.Store // lazily opened StoreDir; nil until first DB call
 }
 
 // NewEnv returns an experiment environment with the given determinism seed.
@@ -167,6 +177,7 @@ func (e *Env) DB(ctx context.Context, types []string) (*perfdb.DB, error) {
 		MaxN:      16,
 		Workloads: trace.DefaultWorkloads(),
 		Workers:   e.Workers,
+		Progress:  e.progress(),
 	}
 	var db *perfdb.DB
 	var err error
@@ -192,6 +203,20 @@ func (e *Env) DB(ctx context.Context, types []string) (*perfdb.DB, error) {
 	e.dbs[key] = db
 	e.mu.Unlock()
 	return db, nil
+}
+
+// progress returns the Env's serialized progress sink, or nil when no
+// stream is configured so callees skip event construction — the same
+// convention as arena.Session.
+func (e *Env) progress() core.ProgressFunc {
+	if e.Progress == nil {
+		return nil
+	}
+	return func(ev core.Event) {
+		e.progressMu.Lock()
+		e.Progress(ev)
+		e.progressMu.Unlock()
+	}
 }
 
 // warn routes a persistence warning through SnapshotWarn or stderr.
@@ -261,6 +286,7 @@ func (e *Env) runPolicies(ctx context.Context, spec hw.ClusterSpec, jobs []trace
 			Spec: spec, Policy: p, Jobs: jobs, DB: db,
 			RoundSeconds: 300, MaxRounds: maxRounds,
 			IncludeUnfinished: true, Seed: e.Seed,
+			Progress: e.progress(),
 		})
 		if err != nil {
 			return nil, nil, err

@@ -6,7 +6,16 @@ import (
 
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+
+	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
+	"github.com/sjtu-epcc/arena/internal/sched"
+	"github.com/sjtu-epcc/arena/internal/sched/policy"
+	"github.com/sjtu-epcc/arena/internal/trace"
 )
 
 func TestTableFormatting(t *testing.T) {
@@ -138,5 +147,51 @@ func TestRunCancelsMidFigure(t *testing.T) {
 		if tbl != nil || !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: want canceled run, got table=%v err=%v", id, tbl, err)
 		}
+	}
+}
+
+// TestEnvForwardsProgress covers the per-figure progress stream: the
+// Env's serialized sink must deliver perfdb.build events from database
+// builds and sim.round events from policy runs — what arena-bench -v
+// prints.
+func TestEnvForwardsProgress(t *testing.T) {
+	env := NewEnv(42)
+	var mu sync.Mutex
+	steps := map[string]int{}
+	env.Progress = func(ev core.Event) {
+		mu.Lock()
+		steps[ev.Step]++
+		mu.Unlock()
+	}
+
+	w := model.Workload{Model: "WRes-1B", GlobalBatch: 256}
+	db, err := perfdb.Build(env.Engine(), perfdb.Options{
+		GPUTypes:  []string{"A40"},
+		MaxN:      4,
+		Workloads: []model.Workload{w},
+		Progress:  env.progress(), // the sink Env.DB threads into builds
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := trace.Generate(trace.Config{
+		Kind: trace.Philly, Duration: 3600, NumJobs: 6, Seed: 7,
+		GPUTypes: []string{"A40"}, MaxGPUs: 4,
+		Workloads: []model.Workload{w},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := env.runPolicies(context.Background(), hw.ClusterA(), jobs, db, 8, []sched.Policy{policy.NewFCFS()}); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if steps["perfdb.build"] == 0 {
+		t.Error("no perfdb.build progress events forwarded")
+	}
+	if steps["sim.round"] == 0 {
+		t.Error("no sim.round progress events forwarded")
 	}
 }

@@ -1,19 +1,3 @@
-// Package perfdb builds and serves the performance database that every
-// scheduler consults — the reproduction of the paper's
-// ./database/prof_database.pkl (§A.4.4). For each (workload, GPU type,
-// GPU count) it records three views of job performance:
-//
-//   - the static data-parallel view (what SP-aware schedulers profile),
-//   - the adaptive-parallelism optimum (what jobs actually achieve at
-//     runtime, §5.1: baselines execute with AP),
-//   - Arena's view: the profiler's estimate used for scheduling and the
-//     engine-measured throughput of the pruned-search plan used when the
-//     job runs.
-//
-// The gaps between these views are the paper's Case#1 (inverted
-// allocation) and Case#2 (demand overestimation) pathologies, and the
-// η-knob of §2.3 interpolates between Sia's linear bootstrap and fully
-// precise data.
 package perfdb
 
 import (
@@ -118,6 +102,18 @@ type Options struct {
 	// Like NoCache/Serial it changes wall-clock only, never results.
 	Workers int
 
+	// EvalCache, when non-nil, is the measurement cache the build's
+	// searches and plan evaluations run through instead of a fresh
+	// per-workload cache. It must be bound to the same engine the build
+	// receives (the session passes its own). The point is cross-process
+	// warm starts: with a store-attached cache (arena.WithStore), even a
+	// first-ever database build begins from the op and stage
+	// measurements earlier searches persisted, instead of measuring
+	// every workload column cold. The engine is a pure function of its
+	// seed, so sharing a cache — across workloads and across processes —
+	// changes wall-clock only, never results. Ignored with NoCache.
+	EvalCache *evalcache.Cache
+
 	// Progress, when non-nil, receives one "perfdb.build" event per
 	// completed (workload, type, count) point. Points fan out over worker
 	// pools, so the function may be called concurrently.
@@ -152,6 +148,10 @@ func BuildCtx(ctx context.Context, eng *exec.Engine, opts Options) (*DB, error) 
 	}
 	if opts.Seed != 0 && opts.Seed != eng.Seed() {
 		return nil, fmt.Errorf("perfdb: options seed %d does not match engine seed %d", opts.Seed, eng.Seed())
+	}
+	if opts.EvalCache != nil && opts.EvalCache.Engine() != eng {
+		return nil, fmt.Errorf("perfdb: eval cache is bound to a different engine (seed %d) than the build's (seed %d)",
+			opts.EvalCache.Engine().Seed(), eng.Seed())
 	}
 	if opts.MaxN < 1 {
 		opts.MaxN = 16
@@ -280,9 +280,19 @@ func buildWorkload(ctx context.Context, eng *exec.Engine, ct *profiler.CommTable
 	// points — so searches run with Workers: 1. Splitting the core budget
 	// a third time inside profileStageCandidates would only multiply
 	// CPU-bound goroutines (GOMAXPROCS³) contending on the shard locks.
+	//
+	// A caller-provided cache (Options.EvalCache) replaces the fresh
+	// per-workload one: measurement keys are namespaced by (graph,
+	// device, node packing), so workloads sharing one cache cannot
+	// collide, and a store-attached session cache lets this build start
+	// from measurements persisted by earlier searches.
 	var searchOpts search.Options
 	if !opts.NoCache {
-		searchOpts = search.Options{Cache: evalcache.New(eng), Workers: 1}
+		cache := opts.EvalCache
+		if cache == nil {
+			cache = evalcache.New(eng)
+		}
+		searchOpts = search.Options{Cache: cache, Workers: 1}
 	}
 
 	type point struct {

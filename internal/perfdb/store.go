@@ -97,8 +97,10 @@ func columnKey(engineFP string, w model.Workload, graphFP string, gpuTypes []str
 // columns are written back for the next run.
 //
 // The merged result is bit-identical to a cold Build of the same options:
-// workload columns are independent by construction (each build uses its
-// own planner, profiler and evalcache over the same pure engine), which
+// workload columns are independent by construction (each build runs its
+// own planner and profiler over the same pure engine, and measurement
+// caches — per-workload or shared via Options.EvalCache — only memoize
+// that engine's pure results), which
 // TestStorePartialBuildMatchesColdBuild asserts.
 //
 // A column write failure returns the fully usable database together with

@@ -1,0 +1,37 @@
+// Package planner implements Arena's load-aware, execution-free parallelism
+// planning (§3.3). For each grid (fixed resource and pipeline degree) it:
+//
+//  1. computes roofline-based operator loads L_i = FLOPs_i / R(I_i) from
+//     static model information and hardware specifications only (Eq. 2);
+//  2. enumerates the C(O−1, s−1) contiguous stage partitions, assigns each
+//     stage GPUs proportional to its load, and normalizes the assignment to
+//     powers of two by minimizing the computation-bias metric b_comp, the
+//     Euclidean distance to the ideal fractional assignment (Eq. 3);
+//  3. selects intra-stage parallelism per stage by minimizing analytic
+//     communication cost within memory limits;
+//  4. scores each candidate with the communication-load metric l_comm
+//     (Eq. 4), deduces the Pareto frontier over (b_comp, l_comm), reduces
+//     it when oversized, and picks the proxy plan: minimum computation
+//     bias first, then minimum communication load.
+//
+// Everything here is execution-free: only hardware specs and operator
+// shape arithmetic are consulted, never measured latencies.
+//
+// # Enumeration
+//
+// Step 2 runs on one of two interchangeable enumerators. The default is
+// the incremental prefix DP of dp.go: partitions are walked as a tree of
+// boundary choices, per-stage fractional shares and the power-of-two
+// assignment DP's rows are keyed to the deepest boundary they depend on
+// and computed once per frontier extension instead of once per
+// partition, and stage ranges that fit device memory at no GPU count
+// prune their whole subtree. Planner.Exhaustive selects the reference
+// enumerator that evaluates every partition from scratch; both emit
+// bit-identical GridPlans (the frontier-stability analysis and proof
+// obligations are spelled out in dp.go and docs/ARCHITECTURE.md), so the
+// flag exists only for determinism tests and benchmark baselines.
+//
+// PlanHetero extends the same partition machinery to mixed GPU pools
+// (§6): stages stay internally homogeneous, each pinned to one type with
+// capability-proportional GPU shares.
+package planner

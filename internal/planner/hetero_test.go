@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/sjtu-epcc/arena/internal/exec"
@@ -174,4 +175,63 @@ func TestNearestPow2(t *testing.T) {
 
 func parallelStage(start, end, dp, tp int) parallel.StagePlan {
 	return parallel.StagePlan{OpStart: start, OpEnd: end, DP: dp, TP: tp}
+}
+
+func TestPlanHeteroDeterministic(t *testing.T) {
+	// The heterogeneous planner shares forEachPartition with the
+	// homogeneous reference path; repeated runs over the same pool must
+	// bind stages to types bit-identically.
+	g := model.MustBuildClustered("GPT-1.3B")
+	pool := HeteroPool{"A100": 2, "V100": 4, "A40": 2}
+	first, err := New().PlanHetero(g, pool, 3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := New().PlanHetero(g, pool, 3, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d diverged:\nfirst: %+v\nagain: %+v", i, first, again)
+		}
+	}
+}
+
+func TestPlanHeteroEdgeDegrees(t *testing.T) {
+	// Degenerate pipeline degrees mirror the homogeneous edge-partition
+	// coverage: a single stage pinned to one type, and one operator per
+	// stage across the whole graph.
+	g := model.MustBuildClustered("GPT-1.3B")
+
+	single, err := New().PlanHetero(g, HeteroPool{"A100": 4}, 1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Stages) != 1 || single.Stages[0].OpStart != 0 || single.Stages[0].OpEnd != len(g.Ops) {
+		t.Fatalf("s=1 plan should span the graph: %+v", single.Stages)
+	}
+
+	perOp, err := New().PlanHetero(g, HeteroPool{"A100": 24, "V100": 24}, len(g.Ops), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := perOp.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(perOp.Stages) != len(g.Ops) {
+		t.Fatalf("s=numOps plan has %d stages, want %d", len(perOp.Stages), len(g.Ops))
+	}
+	for j, st := range perOp.Stages {
+		if st.OpEnd-st.OpStart != 1 {
+			t.Fatalf("stage %d spans %d ops, want 1", j, st.OpEnd-st.OpStart)
+		}
+	}
+
+	if _, err := New().PlanHetero(g, HeteroPool{"A100": 4}, len(g.Ops)+1, 128); err == nil {
+		t.Error("s > numOps should error")
+	}
 }

@@ -1,6 +1,8 @@
 package planner
 
 import (
+	"math/bits"
+
 	"github.com/sjtu-epcc/arena/internal/core"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/model"
@@ -48,12 +50,10 @@ func newIntraSelector(g *model.Graph, spec hw.GPU, grid core.Grid, numMicro int)
 	}
 }
 
-// memoIdx flattens (start, end, gpus) — gpus is always a power of two.
+// memoIdx flattens (start, end, gpus) — gpus is always a power of two,
+// so its log is one bit scan on the planner's hottest lookup.
 func (is *intraSelector) memoIdx(start, end, gpus int) int {
-	lg := 0
-	for p := 1; p < gpus; p *= 2 {
-		lg++
-	}
+	lg := bits.Len(uint(gpus)) - 1
 	return (start*(is.numOps+1)+end)*is.logGPUs + lg
 }
 

@@ -1,21 +1,3 @@
-// Package planner implements Arena's load-aware, execution-free parallelism
-// planning (§3.3). For each grid (fixed resource and pipeline degree) it:
-//
-//  1. computes roofline-based operator loads L_i = FLOPs_i / R(I_i) from
-//     static model information and hardware specifications only (Eq. 2);
-//  2. enumerates the C(O−1, s−1) contiguous stage partitions, assigns each
-//     stage GPUs proportional to its load, and normalizes the assignment to
-//     powers of two by minimizing the computation-bias metric b_comp, the
-//     Euclidean distance to the ideal fractional assignment (Eq. 3);
-//  3. selects intra-stage parallelism per stage by minimizing analytic
-//     communication cost within memory limits;
-//  4. scores each candidate with the communication-load metric l_comm
-//     (Eq. 4), deduces the Pareto frontier over (b_comp, l_comm), reduces
-//     it when oversized, and picks the proxy plan: minimum computation
-//     bias first, then minimum communication load.
-//
-// Everything here is execution-free: only hardware specs and operator
-// shape arithmetic are consulted, never measured latencies.
 package planner
 
 import (
@@ -38,6 +20,14 @@ type Planner struct {
 	// proxy selection to plans within (1+BiasTolerance)×min, letting the
 	// communication load break near-ties.
 	BiasTolerance float64
+	// Exhaustive switches PlanGrid and EnumerateCandidates from the
+	// incremental prefix-DP enumerator (dp.go) to the reference
+	// enumerator that recomputes every partition from scratch. Both emit
+	// bit-identical GridPlans — proven by TestPrefixDPMatchesExhaustive —
+	// so the flag changes wall-clock only. It exists for the determinism
+	// tests and the BenchmarkPlanGrid baseline, and is scheduled for
+	// deletion once a release has soaked with the DP path as default.
+	Exhaustive bool
 }
 
 // New returns a Planner with the paper-aligned defaults.
@@ -119,24 +109,41 @@ func (pl *Planner) PlanGrid(g *model.Graph, grid core.Grid) (*GridPlan, error) {
 	intra := newIntraSelector(g, spec, grid, numMicro)
 
 	out := &GridPlan{Grid: grid}
-	var candidates []*Candidate
-
-	scr := newCandScratch(grid.S, grid.N)
-	forEachPartition(numOps, grid.S, func(bounds []int) {
-		out.CandidatesEvaluated++
-		cand := pl.buildCandidate(g, spec, grid, stats, intra, bounds, totalLoad, numMicro, scr)
-		if cand != nil {
-			candidates = append(candidates, cand)
-		}
-	})
+	candidates, evaluated := pl.enumerate(g, spec, grid, stats, intra, totalLoad, numMicro)
+	out.CandidatesEvaluated = evaluated
 
 	if len(candidates) == 0 {
 		return out, nil // infeasible grid: nothing fits memory
 	}
 	out.Feasible = true
 	out.Frontier = pl.reduceFrontier(paretoFrontier(candidates))
+	if !pl.Exhaustive {
+		// DP-path candidates are arena-backed (dp.go); detach the few
+		// survivors so the returned frontier does not pin the whole
+		// enumeration's storage.
+		for i, c := range out.Frontier {
+			out.Frontier[i] = detachCandidate(c)
+		}
+	}
 	out.Proxy = pl.selectProxy(out.Frontier)
 	return out, nil
+}
+
+// detachCandidate deep-copies a candidate onto its own heap objects,
+// preserving every value bit. Proxy selection runs after detachment, so
+// the proxy remains a member of the returned frontier.
+func detachCandidate(c *Candidate) *Candidate {
+	return &Candidate{
+		Plan: &parallel.Plan{
+			Stages:          append([]parallel.StagePlan(nil), c.Plan.Stages...),
+			NumMicrobatches: c.Plan.NumMicrobatches,
+		},
+		BComp:        c.BComp,
+		LComm:        c.LComm,
+		OpsPerStage:  append([]int(nil), c.OpsPerStage...),
+		GPUsPerStage: append([]int(nil), c.GPUsPerStage...),
+		IdealAssign:  append([]float64(nil), c.IdealAssign...),
+	}
 }
 
 // EnumerateCandidates returns every generated candidate of the grid (one
@@ -158,14 +165,35 @@ func (pl *Planner) EnumerateCandidates(g *model.Graph, grid core.Grid) []*Candid
 	}
 	numMicro := parallel.DefaultMicrobatches(grid.S)
 	intra := newIntraSelector(g, spec, grid, numMicro)
+	out, _ := pl.enumerate(g, spec, grid, stats, intra, totalLoad, numMicro)
+	return out
+}
+
+// enumerate produces every memory-feasible candidate of the grid, in the
+// canonical (lexicographic-partition) order, plus the count of partitions
+// enumerated. The DP path (dp.go) is the default; Exhaustive selects the
+// reference path that rebuilds every partition from scratch. Emission
+// order is part of the contract: paretoFrontier breaks exact (BComp,
+// LComm) ties by input position, so both paths must present candidates
+// identically for GridPlans to match bit for bit.
+func (pl *Planner) enumerate(
+	g *model.Graph, spec hw.GPU, grid core.Grid,
+	stats *opRangeStats, intra *intraSelector,
+	totalLoad float64, numMicro int,
+) ([]*Candidate, int) {
+	if !pl.Exhaustive {
+		return pl.enumerateDP(g, spec, grid, stats, intra, totalLoad, numMicro)
+	}
 	var out []*Candidate
+	evaluated := 0
 	scr := newCandScratch(grid.S, grid.N)
-	forEachPartition(numOps, grid.S, func(bounds []int) {
+	forEachPartition(len(g.Ops), grid.S, func(bounds []int) {
+		evaluated++
 		if cand := pl.buildCandidate(g, spec, grid, stats, intra, bounds, totalLoad, numMicro, scr); cand != nil {
 			out = append(out, cand)
 		}
 	})
-	return out
+	return out, evaluated
 }
 
 // candScratch holds the per-partition working storage of one PlanGrid
@@ -177,7 +205,8 @@ type candScratch struct {
 	ideal  []float64
 	opsPer []int
 	assign []int
-	dp     []float64 // flat (s+1) × (n+1) assignment DP table
+	stages []parallel.StagePlan // stageMetrics trial buffer
+	dp     []float64            // flat (s+1) × (n+1) assignment DP table
 	choice []int32
 	stamp  []uint32 // cell validity epoch — skips the per-partition fill
 	epoch  uint32
@@ -189,6 +218,7 @@ func newCandScratch(s, n int) *candScratch {
 		ideal:  make([]float64, s),
 		opsPer: make([]int, s),
 		assign: make([]int, s),
+		stages: make([]parallel.StagePlan, s),
 		dp:     make([]float64, size),
 		choice: make([]int32, size),
 		stamp:  make([]uint32, size),
@@ -205,7 +235,6 @@ func (pl *Planner) buildCandidate(
 	bounds []int, totalLoad float64, numMicro int,
 	scr *candScratch,
 ) *Candidate {
-	s := grid.S
 	ideal := scr.ideal
 	opsPer := scr.opsPer
 	start := 0
@@ -219,14 +248,35 @@ func (pl *Planner) buildCandidate(
 	if assign == nil {
 		return nil
 	}
+	lComm, ok := stageMetrics(scr.stages, intra, bounds, assign, numMicro)
+	if !ok {
+		return nil
+	}
+	// Detach the scratch-backed slices before retaining them.
+	return &Candidate{
+		Plan:         &parallel.Plan{Stages: append([]parallel.StagePlan(nil), scr.stages...), NumMicrobatches: numMicro},
+		BComp:        math.Sqrt(bias2),
+		LComm:        lComm,
+		OpsPerStage:  append([]int(nil), opsPer...),
+		GPUsPerStage: append([]int(nil), assign...),
+		IdealAssign:  append([]float64(nil), ideal...),
+	}
+}
 
-	stages := make([]parallel.StagePlan, s)
+// stageMetrics resolves a partition + GPU assignment into concrete
+// stage shapes (written into the caller's buffer, len = stage count)
+// and the communication-load metric. It is the single home of the
+// per-candidate float math, shared by the reference and DP enumerators
+// so the two paths cannot drift — a candidate's bytes depend only on
+// (bounds, assign, numMicro), never on which enumerator called this.
+// Returns ok=false when a stage has no memory-feasible (dp, tp) shape.
+func stageMetrics(stages []parallel.StagePlan, intra *intraSelector, bounds, assign []int, numMicro int) (lComm float64, ok bool) {
 	var maxStageComm, totalComm float64
-	start = 0
+	start := 0
 	for j, end := range bounds {
 		choice := intra.best(start, end, assign[j])
 		if choice == nil {
-			return nil // no feasible (dp, tp) for this stage
+			return 0, false // no feasible (dp, tp) for this stage
 		}
 		stages[j] = parallel.StagePlan{OpStart: start, OpEnd: end, DP: choice.dp, TP: choice.tp}
 		perMicro := choice.perMicroComm
@@ -241,18 +291,7 @@ func (pl *Planner) buildCandidate(
 	// communication repeats for B−1 microbatches; every communication
 	// operator contributes once for the fill phase, and per-iteration
 	// gradient synchronization is counted once.
-	lComm := float64(numMicro-1)*maxStageComm + totalComm
-
-	// Detach the scratch-backed slices before retaining them.
-	cand := &Candidate{
-		Plan:         &parallel.Plan{Stages: stages, NumMicrobatches: numMicro},
-		BComp:        math.Sqrt(bias2),
-		LComm:        lComm,
-		OpsPerStage:  append([]int(nil), opsPer...),
-		GPUsPerStage: append([]int(nil), assign...),
-		IdealAssign:  append([]float64(nil), ideal...),
-	}
-	return cand
+	return float64(numMicro-1)*maxStageComm + totalComm, true
 }
 
 // forEachPartition enumerates all compositions of numOps operators into s

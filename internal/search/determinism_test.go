@@ -13,6 +13,7 @@ import (
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/model"
 	"github.com/sjtu-epcc/arena/internal/planner"
+	"github.com/sjtu-epcc/arena/internal/profiler"
 )
 
 // waitGoroutines polls until the goroutine count returns to the baseline,
@@ -236,5 +237,65 @@ func TestOptionsRejectForeignCache(t *testing.T) {
 	_, err = FullSearchOpts(eng, g, hw.MustLookup("A40"), 128, 4, Options{Cache: evalcache.New(other)})
 	if err == nil {
 		t.Fatal("want error for cache bound to a different engine")
+	}
+}
+
+// TestSearchPlannerDPParity carries the planner's prefix-DP/exhaustive
+// equivalence through the layers that consume GridPlans: profile a
+// workload with each enumerator, then run the pruned search from the
+// best grid of each. Job profiles (estimates and retained grid plans)
+// and search outcomes must be deep-equal — the whole deployment pipeline
+// may not observe which enumerator planned its grids.
+func TestSearchPlannerDPParity(t *testing.T) {
+	eng := exec.NewEngine(42)
+	spec := hw.MustLookup("A40")
+	ct, err := profiler.OfflineSampleComm(eng, []string{"A40"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := model.Workload{Model: "GPT-1.3B", GlobalBatch: 128}
+	g, err := model.BuildClustered(w.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	profile := func(pl *planner.Planner) *profiler.JobProfile {
+		t.Helper()
+		jp, err := profiler.ProfileJobCtx(context.Background(), pl, profiler.New(eng, ct), g, w, []string{"A40"}, 8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jp
+	}
+	dpPl := planner.New()
+	exPl := planner.New()
+	exPl.Exhaustive = true
+	dpJP, exJP := profile(dpPl), profile(exPl)
+	if !reflect.DeepEqual(dpJP.Estimates, exJP.Estimates) {
+		t.Fatal("profiled estimates diverged between planner enumerators")
+	}
+	if !reflect.DeepEqual(dpJP.GridPlans, exJP.GridPlans) {
+		t.Fatal("retained grid plans diverged between planner enumerators")
+	}
+
+	r := core.Resource{GPUType: "A40", N: 8}
+	dpGrid, ok := dpJP.BestGrid(r)
+	if !ok {
+		t.Fatal("no feasible grid")
+	}
+	exGrid, _ := exJP.BestGrid(r)
+	if dpGrid != exGrid {
+		t.Fatalf("best grids diverged: %v vs %v", dpGrid, exGrid)
+	}
+	dpOut, err := PrunedSearch(eng, g, spec, w.GlobalBatch, 8, dpJP.GridPlans[dpGrid])
+	if err != nil {
+		t.Fatal(err)
+	}
+	exOut, err := PrunedSearch(eng, g, spec, w.GlobalBatch, 8, exJP.GridPlans[exGrid])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dpOut, exOut) {
+		t.Fatalf("pruned search outcomes diverged:\ndp:        %+v\nexhaustive: %+v", dpOut, exOut)
 	}
 }

@@ -1,0 +1,28 @@
+// Package search implements adaptive-parallelism plan search over the
+// execution engine: the full-space search (the Alpa baseline the paper
+// compares against in §5.4) and Arena's space-pruned search (§3.6).
+//
+// Both searches follow Alpa's structure: enumerate stage candidates
+// (operator range × GPU count × intra-stage shape), "profile" each on the
+// engine — the expensive step on real hardware — then compose stages into
+// pipelines with dynamic programming under a bottleneck bound, and
+// finally measure the best few compositions end to end. Search cost is
+// accounted in profiled stage candidates and converted to modeled
+// wall-clock seconds, calibrated so a 16-GPU full search costs on the
+// order of the paper's "20 minutes per allocable resource" (§2.3).
+//
+// The pruned search consumes the planner's GridPlan for one selected
+// grid: instead of every (range × count × shape) candidate it profiles
+// only the stage candidates reachable from the grid's Pareto frontier,
+// which is what collapses redeployment cost from the full search's
+// minutes to seconds (§5.4, Fig. 15).
+//
+// Execution options (Options) control wall-clock only, never results:
+// Cache threads an evalcache.Cache so repeated candidates are measured
+// once (across degrees, across the full and pruned searches of one
+// point, and across GPU counts of one perfdb column), Workers fans
+// candidate profiling out over a pool, and Progress streams per-candidate
+// completion events. Determinism tests in this package prove the cached,
+// parallel and planner-DP paths all return outcomes bit-identical to the
+// serial uncached reference.
+package search

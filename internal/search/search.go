@@ -1,15 +1,3 @@
-// Package search implements adaptive-parallelism plan search over the
-// execution engine: the full-space search (the Alpa baseline the paper
-// compares against in §5.4) and Arena's space-pruned search (§3.6).
-//
-// Both searches follow Alpa's structure: enumerate stage candidates
-// (operator range × GPU count × intra-stage shape), "profile" each on the
-// engine — the expensive step on real hardware — then compose stages into
-// pipelines with dynamic programming under a bottleneck bound, and
-// finally measure the best few compositions end to end. Search cost is
-// accounted in profiled stage candidates and converted to modeled
-// wall-clock seconds, calibrated so a 16-GPU full search costs on the
-// order of the paper's "20 minutes per allocable resource" (§2.3).
 package search
 
 import (

@@ -443,6 +443,11 @@ func (s *Session) BuildPerfDB(ctx context.Context) (*PerfDB, error) {
 			Workloads: s.cfg.workloads,
 			Workers:   s.cfg.workers,
 			Progress:  s.progress(),
+			// The session's own cache: with WithStore attached, even a
+			// first-ever build reuses op and stage measurements earlier
+			// searches persisted, and the build's measurements flow back
+			// into the session memo (and to the store on Close).
+			EvalCache: s.cache,
 		}
 		var (
 			db     *perfdb.DB

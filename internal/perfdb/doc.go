@@ -18,9 +18,13 @@
 // # Building and reuse
 //
 // Build exercises the planner, profiler and both AP searches for every
-// (workload, type, count) point; workloads fan out over a worker pool
-// and all points of a workload share stage measurements through an
-// evalcache (a candidate measured for n=4 is byte-identical for n=8).
+// (workload, type, count) point; grid planning runs the planner's
+// default fast paths — the prefix-DP enumerator streaming into the
+// incremental Pareto sweep, which is where a cold build's planning cost
+// concentrates (see docs/ARCHITECTURE.md §planner) — while workloads
+// fan out over a worker pool and all points of a workload share stage
+// measurements through an evalcache (a candidate measured for n=4 is
+// byte-identical for n=8).
 // Options.EvalCache substitutes a caller-owned cache — the session
 // passes its store-attached one, so even a first-ever build starts from
 // measurements persisted by earlier searches. All execution options

@@ -38,30 +38,32 @@ package planner
 // power iteration, same strict-< tie-break as normalizeAssignment — so
 // its value is bit-identical however many partitions share it. The one
 // behavior the DFS does change is emission order (right-to-left boundary
-// choice emits in colexicographic order), and paretoFrontier's unstable
-// sort makes the frontier sensitive to input positions of exact (BComp,
-// LComm) ties; enumerateDP therefore places each candidate at its
-// partition's lexicographic rank, rebuilding the reference path's
-// emission order without a comparison sort. A forward
-// (prefix-accumulated) recurrence was rejected for exactly this class of
-// reason: it regroups the float summation d₀²+(d₁²+(…)) into
-// ((d₀²+d₁²)+…) and flips exact ties between mirrored assignments —
-// real ties, e.g. for uniform transformer layers. See
-// docs/ARCHITECTURE.md for the full argument.
+// choice emits in colexicographic order), and candidate order is
+// observable: exact (BComp, LComm) ties resolve by lexicographic
+// partition rank, and the Fig. 14 population is reported in
+// lexicographic order. enumerateDP therefore hands every sink the
+// candidate's lexicographic rank, computed as an O(1) running total over
+// suffix-cumulative binomial sums — the population sink uses it to
+// rebuild the reference emission order without a comparison sort, the
+// sweep frontier (frontier.go) to break metric ties identically to the
+// lex-order reference enumerator. A forward (prefix-accumulated)
+// recurrence was rejected for exactly this class of reason: it regroups
+// the float summation d₀²+(d₁²+(…)) into ((d₀²+d₁²)+…) and flips exact
+// ties between mirrored assignments — real ties, e.g. for uniform
+// transformer layers. See docs/ARCHITECTURE.md for the full argument.
 
 import (
 	"math"
 	"sync"
 
 	"github.com/sjtu-epcc/arena/internal/core"
-	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/model"
 	"github.com/sjtu-epcc/arena/internal/parallel"
 )
 
 // partitionDP carries the frontier state of one DP enumeration pass over
 // a grid. All slices are preallocated once per grid; the DFS mutates
-// them in place, and materialize copies retained values out.
+// them in place, and the sink copies anything it retains.
 type partitionDP struct {
 	pl       *Planner
 	grid     core.Grid
@@ -76,8 +78,6 @@ type partitionDP struct {
 	ideal  []float64 // fractional GPU share per stage, valid for fixed stages
 	opsPer []int     // operator count per stage, maintained like ideal
 	assign []int     // reconstruction buffer for the chosen assignment
-
-	stageScratch []parallel.StagePlan // materialize's trial stage buffer
 
 	// Suffix assignment DP, flat (s+1) × (n+1). Cell j*(n+1)+r is valid
 	// iff its stamp equals rowEpoch[j]; rows are re-stamped instead of
@@ -101,37 +101,30 @@ type partitionDP struct {
 
 	evaluated int
 
-	// out accumulates candidates in DFS (colexicographic) discovery
-	// order; slots maps each partition's lexicographic rank to 1+its out
-	// index, so the reference enumerator's emission order is rebuilt by a
-	// linear slot scan instead of a comparison sort. Indices rather than
-	// pointers keep the hot loop free of GC write barriers.
-	out   []*Candidate
-	slots []int32
-
-	arena candArena
+	sink candidateSink // consumes leaves, keyed by lexicographic rank
 }
 
 // enumerateDP is the prefix-DP twin of the Exhaustive enumerate branch:
-// same candidates, same order, same partition count, ~4× less work.
+// same candidates, same lexicographic ranks, same partition count, ~4×
+// less work.
 func (pl *Planner) enumerateDP(
-	g *model.Graph, spec hw.GPU, grid core.Grid,
+	g *model.Graph, grid core.Grid,
 	stats *opRangeStats, intra *intraSelector,
-	totalLoad float64, numMicro int,
-) ([]*Candidate, int) {
+	totalLoad float64, numMicro int, sink candidateSink,
+) int {
 	numOps := len(g.Ops)
 	if grid.S == 1 {
-		// A single partition has no frontier to share; evaluate it with
-		// the reference per-partition code path.
-		var out []*Candidate
+		// A single partition has no boundary frontier to share; evaluate
+		// it with the reference per-partition code path.
 		scr := newCandScratch(1, grid.N)
-		if c := pl.buildCandidate(g, spec, grid, stats, intra, []int{numOps}, totalLoad, numMicro, scr); c != nil {
-			out = append(out, c)
+		scr.ideal[0] = stats.loadOf(0, numOps) / totalLoad * float64(grid.N)
+		scr.opsPer[0] = numOps
+		if assign, bias2 := normalizeAssignment(scr.ideal, grid.N, scr); assign != nil {
+			sink.offer([]int{numOps}, assign, scr.opsPer, scr.ideal, bias2, 0)
 		}
-		return out, 1
+		return 1
 	}
 	s, n := grid.S, grid.N
-	pascal := pascalTable(numOps)
 	e := &partitionDP{
 		pl: pl, grid: grid, stats: stats, intra: intra,
 		total: totalLoad, numMicro: numMicro,
@@ -141,16 +134,15 @@ func (pl *Planner) enumerateDP(
 		opsPer: make([]int, s),
 		assign: make([]int, s),
 
-		stageScratch: make([]parallel.StagePlan, s),
-
 		dp:       make([]float64, (s+1)*(n+1)),
 		choice:   make([]int32, (s+1)*(n+1)),
 		stamp:    make([]uint32, (s+1)*(n+1)),
 		rowEpoch: make([]uint32, s+1),
 
 		feas:   make([]int8, (numOps+1)*(numOps+1)),
-		pascal: pascal,
-		slots:  make([]int32, pascal[numOps-1][s-1]),
+		pascal: pascalTable(numOps),
+
+		sink: sink,
 	}
 	// Base row: assigning zero trailing stages costs 0 with 0 GPUs left.
 	e.rowEpoch[s] = 1
@@ -159,16 +151,7 @@ func (pl *Planner) enumerateDP(
 	e.buildRankCum()
 
 	e.descend(s-2, numOps, 0)
-
-	// Compact the rank-addressed slots into the reference enumerator's
-	// emission order.
-	out := make([]*Candidate, 0, len(e.out))
-	for _, idx := range e.slots {
-		if idx > 0 {
-			out = append(out, e.out[idx-1])
-		}
-	}
-	return out, e.evaluated
+	return e.evaluated
 }
 
 // buildRankCum precomputes the suffix-cumulative binomial sums behind
@@ -292,8 +275,8 @@ func (e *partitionDP) cell1(r int) (float64, bool) {
 // leaf finalizes the partition selected by bounds[0] = b: stage 0 is
 // [0, b), every other stage is fixed on the DFS path. It runs the final
 // assignment minimum over stage 0's power-of-two choices, reconstructs
-// the per-stage assignment from the frontier's choice rows, and
-// materializes the candidate.
+// the per-stage assignment from the frontier's choice rows, and offers
+// the candidate to the sink at its lexicographic rank.
 func (e *partitionDP) leaf(b, rank int) {
 	e.evaluated++
 	if e.rangeInfeasible(0, b) {
@@ -330,33 +313,70 @@ func (e *partitionDP) leaf(b, rank int) {
 		r -= assign[j]
 	}
 
-	if cand := e.materialize(assign, bias2); cand != nil {
-		e.out = append(e.out, cand)
-		e.slots[rank+e.rankCum[0][1]-e.rankCum[0][b]] = int32(len(e.out))
+	e.sink.offer(e.bounds, assign, e.opsPer, e.ideal, bias2, rank+e.rankCum[0][1]-e.rankCum[0][b])
+}
+
+// populationSink materializes every feasible candidate — the sink behind
+// EnumerateCandidates (Fig. 14 measures whole grid populations) and the
+// SortedPareto reference reduction. out accumulates candidates in
+// arrival order; slots maps each partition's lexicographic rank to 1+its
+// out index, so candidates() rebuilds the canonical lexicographic order
+// by a linear slot scan instead of a comparison sort, whichever
+// enumerator streamed in. Indices rather than pointers keep the hot loop
+// free of GC write barriers. Retained storage is bump-allocated from the
+// sink's arena instead of six heap objects per candidate; PlanGrid
+// detaches the few candidates that survive Pareto reduction, releasing
+// the arena with the enumeration.
+type populationSink struct {
+	intra    *intraSelector
+	numMicro int
+
+	stages []parallel.StagePlan // stageMetrics trial buffer
+	out    []*Candidate
+	slots  []int32
+	arena  candArena
+}
+
+func newPopulationSink(g *model.Graph, grid core.Grid, intra *intraSelector, numMicro int) *populationSink {
+	return &populationSink{
+		intra:    intra,
+		numMicro: numMicro,
+		stages:   make([]parallel.StagePlan, grid.S),
+		slots:    make([]int32, pascalTable(len(g.Ops))[len(g.Ops)-1][grid.S-1]),
 	}
 }
 
-// materialize retains the current partition as a candidate: the shared
-// stageMetrics core computes the stage shapes and communication load
-// (so DP and reference candidates are bit-identical by construction),
-// and the retained storage is bump-allocated from the enumeration's
-// arena instead of six heap objects per candidate. PlanGrid detaches
-// the few candidates that survive Pareto reduction, releasing the arena
-// with the enumeration.
-func (e *partitionDP) materialize(assign []int, bias2 float64) *Candidate {
-	lComm, ok := stageMetrics(e.stageScratch, e.intra, e.bounds, assign, e.numMicro)
+// offer implements candidateSink: compute the stage shapes and
+// communication load through the shared stageMetrics core and retain the
+// candidate at its rank slot. Memory-infeasible partitions are dropped.
+func (p *populationSink) offer(bounds, assign, opsPer []int, ideal []float64, bias2 float64, rank int) {
+	lComm, ok := stageMetrics(p.stages, p.intra, bounds, assign, p.numMicro)
 	if !ok {
-		return nil
+		return
 	}
-	cand := e.arena.newCandidate(e.s)
+	s := len(bounds)
+	cand := p.arena.newCandidate(s)
 	cand.BComp = math.Sqrt(bias2)
 	cand.LComm = lComm
-	cand.Plan.NumMicrobatches = e.numMicro
-	copy(cand.Plan.Stages, e.stageScratch)
-	copy(cand.OpsPerStage, e.opsPer)
+	cand.Plan.NumMicrobatches = p.numMicro
+	copy(cand.Plan.Stages, p.stages[:s])
+	copy(cand.OpsPerStage, opsPer)
 	copy(cand.GPUsPerStage, assign)
-	copy(cand.IdealAssign, e.ideal)
-	return cand
+	copy(cand.IdealAssign, ideal)
+	p.out = append(p.out, cand)
+	p.slots[rank] = int32(len(p.out))
+}
+
+// candidates compacts the rank-addressed slots into the canonical
+// lexicographic emission order.
+func (p *populationSink) candidates() []*Candidate {
+	out := make([]*Candidate, 0, len(p.out))
+	for _, idx := range p.slots {
+		if idx > 0 {
+			out = append(out, p.out[idx-1])
+		}
+	}
+	return out
 }
 
 // candidateBlock co-allocates a Candidate with its Plan; candArena hands

@@ -35,29 +35,90 @@ func dpTestMatrix() []core.Grid {
 	return grids
 }
 
+// plannerVariants is the parity matrix's axis: every combination of
+// enumerator (prefix DP vs exhaustive reference) and Pareto reduction
+// (incremental sweep vs post-hoc sorted reference). The first entry is
+// the default fast path; all four must emit bit-identical GridPlans.
+func plannerVariants() []struct {
+	name string
+	pl   *Planner
+} {
+	mk := func(exhaustive, sorted bool) *Planner {
+		pl := New()
+		pl.Exhaustive = exhaustive
+		pl.SortedPareto = sorted
+		return pl
+	}
+	return []struct {
+		name string
+		pl   *Planner
+	}{
+		{"dp+sweep", mk(false, false)},
+		{"dp+sorted", mk(false, true)},
+		{"exhaustive+sweep", mk(true, false)},
+		{"exhaustive+sorted", mk(true, true)},
+	}
+}
+
 // TestPrefixDPMatchesExhaustive is the tentpole's frontier-stability
-// proof: across the whole grid matrix, the incremental prefix-DP
-// enumerator emits GridPlans bit-identical to the exhaustive reference —
-// same feasibility, same partition count, deep-equal proxy and frontier
-// (plans, metrics, assignments, ideals).
+// proof: across the whole grid matrix, every enumerator × reduction
+// combination emits GridPlans bit-identical to the default (prefix DP +
+// incremental sweep) — same feasibility, same partition count,
+// deep-equal proxy and frontier (plans, metrics, assignments, ideals).
+// The exhaustive enumerator offers candidates in lexicographic order and
+// the DP in colexicographic order, so agreement through the shared sweep
+// also proves the staircase's order independence on real populations.
 func TestPrefixDPMatchesExhaustive(t *testing.T) {
-	dp := New()
-	ex := New()
-	ex.Exhaustive = true
+	variants := plannerVariants()
 	for _, grid := range dpTestMatrix() {
 		g := model.MustBuildClustered(grid.Workload.Model)
-		got, err := dp.PlanGrid(g, grid)
+		want, err := variants[0].pl.PlanGrid(g, grid)
 		if err != nil {
-			t.Fatalf("%v: dp: %v", grid, err)
+			t.Fatalf("%v: %s: %v", grid, variants[0].name, err)
 		}
-		want, err := ex.PlanGrid(g, grid)
+		for _, v := range variants[1:] {
+			got, err := v.pl.PlanGrid(g, grid)
+			if err != nil {
+				t.Fatalf("%v: %s: %v", grid, v.name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v: %s GridPlan diverged from %s\n%s: feasible=%v evaluated=%d frontier=%d proxy=%+v\n%s: feasible=%v evaluated=%d frontier=%d proxy=%+v",
+					grid, v.name, variants[0].name,
+					v.name, got.Feasible, got.CandidatesEvaluated, len(got.Frontier), got.Proxy,
+					variants[0].name, want.Feasible, want.CandidatesEvaluated, len(want.Frontier), want.Proxy)
+			}
+		}
+	}
+}
+
+// TestSweepFrontierTieStress drives the full variant matrix over the
+// zero-load graphs — the strongest exact-tie stress available: uniform
+// compute operators make fractional shares exactly equal and zero-load
+// operators make them exactly 0, so the candidate populations contain
+// large groups with identical (BComp, LComm) whose surviving member is
+// decided purely by the lexicographic-rank tie rule. Any tie-break drift
+// between the sweep staircase and the sorted reference, or any offer-
+// order sensitivity between the two enumerators, shows here first.
+func TestSweepFrontierTieStress(t *testing.T) {
+	variants := plannerVariants()
+	for _, tc := range []struct{ ops, zero, n, s int }{
+		{12, 3, 8, 2}, {12, 3, 8, 4}, {12, 3, 16, 6},
+		{16, 2, 16, 8}, {16, 4, 16, 5}, {10, 5, 16, 3},
+	} {
+		g := zeroLoadGraph(tc.ops, tc.zero)
+		gr := grid(g.Name, 64, "A40", tc.n, tc.s)
+		want, err := variants[0].pl.PlanGrid(g, gr)
 		if err != nil {
-			t.Fatalf("%v: exhaustive: %v", grid, err)
+			t.Fatalf("%v: %v", gr, err)
 		}
-		if !reflect.DeepEqual(got, want) {
-			t.Errorf("%v: DP GridPlan diverged from exhaustive\ndp:        feasible=%v evaluated=%d frontier=%d proxy=%+v\nexhaustive: feasible=%v evaluated=%d frontier=%d proxy=%+v",
-				grid, got.Feasible, got.CandidatesEvaluated, len(got.Frontier), got.Proxy,
-				want.Feasible, want.CandidatesEvaluated, len(want.Frontier), want.Proxy)
+		for _, v := range variants[1:] {
+			got, err := v.pl.PlanGrid(g, gr)
+			if err != nil {
+				t.Fatalf("%v: %s: %v", gr, v.name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v: %s diverged from %s on a tie-stress graph", gr, v.name, variants[0].name)
+			}
 		}
 	}
 }
@@ -110,15 +171,12 @@ func zeroLoadGraph(numOps int, zeroEvery int) *model.Graph {
 	return g
 }
 
-// TestPlannerEdgePartitions covers the degenerate partitions on both
-// enumeration paths before the exhaustive one is deleted: s=1 (single
-// stage), s=numOps (one operator per stage), and graphs with zero-load
-// operators, asserting path parity plus basic shape invariants.
+// TestPlannerEdgePartitions covers the degenerate partitions on every
+// enumerator × reduction combination before the reference paths are
+// deleted: s=1 (single stage), s=numOps (one operator per stage), and
+// graphs with zero-load operators, asserting path parity plus basic
+// shape invariants.
 func TestPlannerEdgePartitions(t *testing.T) {
-	dp := New()
-	ex := New()
-	ex.Exhaustive = true
-
 	type gcase struct {
 		name string
 		g    *model.Graph
@@ -136,16 +194,19 @@ func TestPlannerEdgePartitions(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got, err := dp.PlanGrid(tc.g, tc.grid)
+			variants := plannerVariants()
+			got, err := variants[0].pl.PlanGrid(tc.g, tc.grid)
 			if err != nil {
-				t.Fatalf("dp: %v", err)
+				t.Fatalf("%s: %v", variants[0].name, err)
 			}
-			want, err := ex.PlanGrid(tc.g, tc.grid)
-			if err != nil {
-				t.Fatalf("exhaustive: %v", err)
-			}
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("paths diverged: dp=%+v exhaustive=%+v", got, want)
+			for _, v := range variants[1:] {
+				want, err := v.pl.PlanGrid(tc.g, tc.grid)
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("paths diverged: %s=%+v %s=%+v", variants[0].name, got, v.name, want)
+				}
 			}
 			if wantCount := binom(len(tc.g.Ops)-1, tc.grid.S-1); got.CandidatesEvaluated != wantCount {
 				t.Errorf("evaluated %d partitions, want C(%d,%d)=%d",

@@ -107,7 +107,7 @@ func (pl *Planner) PlanHetero(g *model.Graph, pool HeteroPool, s, globalBatch in
 	// within the type's remaining budget.
 	var best *exec.HeteroPlan
 	bestBias := math.MaxFloat64
-	forEachPartition(len(g.Ops), s, func(bounds []int) {
+	forEachPartition(len(g.Ops), s, func(_ int, bounds []int) {
 		plan, bias := pl.bindHeteroStages(g, pool, types, capability, slowest, loads, totalLoad, capacity, bounds, numMicro, globalBatch)
 		if plan != nil && bias < bestBias {
 			best, bestBias = plan, bias

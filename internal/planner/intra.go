@@ -88,6 +88,36 @@ func (is *intraSelector) best(start, end, gpus int) *intraChoice {
 	return best
 }
 
+// commAccum accumulates the communication-load metric (Eq. 4) stage by
+// stage. It is the single home of the metric's float arithmetic, shared
+// by the eager reference path (stageMetrics) and the incremental sweep
+// (sweepFrontier.offer) so a candidate's LComm bits depend only on its
+// stage choices, never on which path computed them. Both partial terms
+// are monotone — the running maximum never decreases and every added
+// term is non-negative — so load() after any stage prefix is a valid
+// lower bound of the final load, which is what licenses the sweep's
+// early rejection.
+type commAccum struct {
+	maxStage float64 // bottleneck per-microbatch communication so far
+	total    float64 // fill-phase + gradient-sync terms so far
+}
+
+// add folds one stage's intra-stage choice into the metric.
+func (a *commAccum) add(c *intraChoice) {
+	if c.perMicroComm > a.maxStage {
+		a.maxStage = c.perMicroComm
+	}
+	a.total += c.perMicroComm + c.iterComm
+}
+
+// load is the communication load (Eq. 4) of the stages folded so far:
+// the bottleneck stage's per-microbatch communication repeats for B−1
+// microbatches; every communication operator contributes once for the
+// fill phase, and per-iteration gradient synchronization counts once.
+func (a *commAccum) load(numMicro int) float64 {
+	return float64(numMicro-1)*a.maxStage + a.total
+}
+
 // commCost returns the stage's analytic communication costs: the
 // per-microbatch tensor-parallel collectives (forward + mirrored backward)
 // and the per-iteration data-parallel gradient all-reduce. Costs use the

@@ -28,6 +28,14 @@ type Planner struct {
 	// tests and the BenchmarkPlanGrid baseline, and is scheduled for
 	// deletion once a release has soaked with the DP path as default.
 	Exhaustive bool
+	// SortedPareto switches PlanGrid from the incremental Pareto sweep
+	// (frontier.go) to the post-hoc reference reduction: materialize the
+	// whole candidate population, sort it and sweep once (pareto.go).
+	// Orthogonal to Exhaustive — all four combinations emit bit-identical
+	// GridPlans (TestPrefixDPMatchesExhaustive sweeps the matrix) — and,
+	// like it, exists for the parity tests and the benchmark baseline
+	// until a release has soaked on the sweep.
+	SortedPareto bool
 }
 
 // New returns a Planner with the paper-aligned defaults.
@@ -109,22 +117,30 @@ func (pl *Planner) PlanGrid(g *model.Graph, grid core.Grid) (*GridPlan, error) {
 	intra := newIntraSelector(g, spec, grid, numMicro)
 
 	out := &GridPlan{Grid: grid}
-	candidates, evaluated := pl.enumerate(g, spec, grid, stats, intra, totalLoad, numMicro)
-	out.CandidatesEvaluated = evaluated
-
-	if len(candidates) == 0 {
+	var frontier []*Candidate
+	if pl.SortedPareto {
+		// Reference reduction: materialize the full population (arena-
+		// backed), then sort-and-sweep post hoc. Survivors are detached
+		// so the returned frontier does not pin the enumeration's arena.
+		sink := newPopulationSink(g, grid, intra, numMicro)
+		out.CandidatesEvaluated = pl.enumerate(g, grid, stats, intra, totalLoad, numMicro, sink)
+		frontier = paretoFrontier(sink.candidates())
+		for i, c := range frontier {
+			frontier[i] = detachCandidate(c)
+		}
+	} else {
+		// Default: the incremental sweep judges candidates as they are
+		// emitted and materializes only staircase members, already
+		// detached.
+		sink := newSweepFrontier(grid.S, intra, numMicro)
+		out.CandidatesEvaluated = pl.enumerate(g, grid, stats, intra, totalLoad, numMicro, sink)
+		frontier = sink.candidates()
+	}
+	if len(frontier) == 0 {
 		return out, nil // infeasible grid: nothing fits memory
 	}
 	out.Feasible = true
-	out.Frontier = pl.reduceFrontier(paretoFrontier(candidates))
-	if !pl.Exhaustive {
-		// DP-path candidates are arena-backed (dp.go); detach the few
-		// survivors so the returned frontier does not pin the whole
-		// enumeration's storage.
-		for i, c := range out.Frontier {
-			out.Frontier[i] = detachCandidate(c)
-		}
-	}
+	out.Frontier = pl.reduceFrontier(frontier)
 	out.Proxy = pl.selectProxy(out.Frontier)
 	return out, nil
 }
@@ -165,48 +181,65 @@ func (pl *Planner) EnumerateCandidates(g *model.Graph, grid core.Grid) []*Candid
 	}
 	numMicro := parallel.DefaultMicrobatches(grid.S)
 	intra := newIntraSelector(g, spec, grid, numMicro)
-	out, _ := pl.enumerate(g, spec, grid, stats, intra, totalLoad, numMicro)
-	return out
+	sink := newPopulationSink(g, grid, intra, numMicro)
+	pl.enumerate(g, grid, stats, intra, totalLoad, numMicro, sink)
+	return sink.candidates()
 }
 
-// enumerate produces every memory-feasible candidate of the grid, in the
-// canonical (lexicographic-partition) order, plus the count of partitions
+// candidateSink consumes the enumerators' output, one call per partition
+// whose power-of-two GPU assignment exists. Arguments are the caller's
+// scratch — a sink retaining any of them must copy. rank is the
+// partition's lexicographic index among all C(O−1, s−1) partitions of
+// the grid, the canonical candidate order: the population sink uses it
+// to reproduce that order without a comparison sort, the sweep frontier
+// to resolve exact (BComp, LComm) ties identically on both enumeration
+// orders. The sink decides memory feasibility itself (via the
+// intra-stage selector), so infeasible partitions are simply dropped.
+type candidateSink interface {
+	offer(bounds, assign, opsPer []int, ideal []float64, bias2 float64, rank int)
+}
+
+// enumerate streams every partition of the grid with a feasible GPU
+// assignment into the sink and returns the count of partitions
 // enumerated. The DP path (dp.go) is the default; Exhaustive selects the
-// reference path that rebuilds every partition from scratch. Emission
-// order is part of the contract: paretoFrontier breaks exact (BComp,
-// LComm) ties by input position, so both paths must present candidates
-// identically for GridPlans to match bit for bit.
+// reference path that rebuilds every partition from scratch. The two
+// differ in discovery order (lexicographic vs colexicographic), which is
+// why sinks key on the lexicographic rank rather than arrival order.
 func (pl *Planner) enumerate(
-	g *model.Graph, spec hw.GPU, grid core.Grid,
+	g *model.Graph, grid core.Grid,
 	stats *opRangeStats, intra *intraSelector,
-	totalLoad float64, numMicro int,
-) ([]*Candidate, int) {
+	totalLoad float64, numMicro int, sink candidateSink,
+) int {
 	if !pl.Exhaustive {
-		return pl.enumerateDP(g, spec, grid, stats, intra, totalLoad, numMicro)
+		return pl.enumerateDP(g, grid, stats, intra, totalLoad, numMicro, sink)
 	}
-	var out []*Candidate
 	evaluated := 0
 	scr := newCandScratch(grid.S, grid.N)
-	forEachPartition(len(g.Ops), grid.S, func(bounds []int) {
+	forEachPartition(len(g.Ops), grid.S, func(rank int, bounds []int) {
 		evaluated++
-		if cand := pl.buildCandidate(g, spec, grid, stats, intra, bounds, totalLoad, numMicro, scr); cand != nil {
-			out = append(out, cand)
+		start := 0
+		for j, end := range bounds {
+			scr.ideal[j] = stats.loadOf(start, end) / totalLoad * float64(grid.N)
+			scr.opsPer[j] = end - start
+			start = end
+		}
+		if assign, bias2 := normalizeAssignment(scr.ideal, grid.N, scr); assign != nil {
+			sink.offer(bounds, assign, scr.opsPer, scr.ideal, bias2, rank)
 		}
 	})
-	return out, evaluated
+	return evaluated
 }
 
-// candScratch holds the per-partition working storage of one PlanGrid
-// pass. A grid enumerates C(O−1, s−1) partitions and most are rejected;
-// reusing the trial buffers (and the assignment DP tables) across them
-// removes the planner's dominant allocation cost. Feasible candidates
-// copy the buffers out, so retained plans never alias the scratch.
+// candScratch holds the per-partition working storage of one exhaustive
+// enumeration pass. A grid enumerates C(O−1, s−1) partitions; reusing
+// the trial buffers (and the assignment DP tables) across them removes
+// the enumerator's dominant allocation cost. Sinks copy anything they
+// retain, so accepted candidates never alias the scratch.
 type candScratch struct {
 	ideal  []float64
 	opsPer []int
 	assign []int
-	stages []parallel.StagePlan // stageMetrics trial buffer
-	dp     []float64            // flat (s+1) × (n+1) assignment DP table
+	dp     []float64 // flat (s+1) × (n+1) assignment DP table
 	choice []int32
 	stamp  []uint32 // cell validity epoch — skips the per-partition fill
 	epoch  uint32
@@ -218,60 +251,21 @@ func newCandScratch(s, n int) *candScratch {
 		ideal:  make([]float64, s),
 		opsPer: make([]int, s),
 		assign: make([]int, s),
-		stages: make([]parallel.StagePlan, s),
 		dp:     make([]float64, size),
 		choice: make([]int32, size),
 		stamp:  make([]uint32, size),
 	}
 }
 
-// buildCandidate evaluates a single stage partition (bounds = exclusive end
-// indices per stage): load-proportional GPU assignment, power-of-two
-// normalization, intra-stage parallelism, and the two planning metrics.
-// Returns nil when no memory-feasible intra-stage choice exists.
-func (pl *Planner) buildCandidate(
-	g *model.Graph, spec hw.GPU, grid core.Grid,
-	stats *opRangeStats, intra *intraSelector,
-	bounds []int, totalLoad float64, numMicro int,
-	scr *candScratch,
-) *Candidate {
-	ideal := scr.ideal
-	opsPer := scr.opsPer
-	start := 0
-	for j, end := range bounds {
-		ideal[j] = stats.loadOf(start, end) / totalLoad * float64(grid.N)
-		opsPer[j] = end - start
-		start = end
-	}
-
-	assign, bias2 := normalizeAssignment(ideal, grid.N, scr)
-	if assign == nil {
-		return nil
-	}
-	lComm, ok := stageMetrics(scr.stages, intra, bounds, assign, numMicro)
-	if !ok {
-		return nil
-	}
-	// Detach the scratch-backed slices before retaining them.
-	return &Candidate{
-		Plan:         &parallel.Plan{Stages: append([]parallel.StagePlan(nil), scr.stages...), NumMicrobatches: numMicro},
-		BComp:        math.Sqrt(bias2),
-		LComm:        lComm,
-		OpsPerStage:  append([]int(nil), opsPer...),
-		GPUsPerStage: append([]int(nil), assign...),
-		IdealAssign:  append([]float64(nil), ideal...),
-	}
-}
-
 // stageMetrics resolves a partition + GPU assignment into concrete
 // stage shapes (written into the caller's buffer, len = stage count)
-// and the communication-load metric. It is the single home of the
-// per-candidate float math, shared by the reference and DP enumerators
-// so the two paths cannot drift — a candidate's bytes depend only on
-// (bounds, assign, numMicro), never on which enumerator called this.
-// Returns ok=false when a stage has no memory-feasible (dp, tp) shape.
+// and the communication-load metric, folding stages through the shared
+// commAccum so the population and sweep paths cannot drift — a
+// candidate's bytes depend only on (bounds, assign, numMicro), never on
+// which sink computed them. Returns ok=false when a stage has no
+// memory-feasible (dp, tp) shape.
 func stageMetrics(stages []parallel.StagePlan, intra *intraSelector, bounds, assign []int, numMicro int) (lComm float64, ok bool) {
-	var maxStageComm, totalComm float64
+	var acc commAccum
 	start := 0
 	for j, end := range bounds {
 		choice := intra.best(start, end, assign[j])
@@ -279,31 +273,25 @@ func stageMetrics(stages []parallel.StagePlan, intra *intraSelector, bounds, ass
 			return 0, false // no feasible (dp, tp) for this stage
 		}
 		stages[j] = parallel.StagePlan{OpStart: start, OpEnd: end, DP: choice.dp, TP: choice.tp}
-		perMicro := choice.perMicroComm
-		if perMicro > maxStageComm {
-			maxStageComm = perMicro
-		}
-		totalComm += perMicro + choice.iterComm
+		acc.add(choice)
 		start = end
 	}
-
-	// Communication load (Eq. 4): the bottleneck stage's per-microbatch
-	// communication repeats for B−1 microbatches; every communication
-	// operator contributes once for the fill phase, and per-iteration
-	// gradient synchronization is counted once.
-	return float64(numMicro-1)*maxStageComm + totalComm, true
+	return acc.load(numMicro), true
 }
 
 // forEachPartition enumerates all compositions of numOps operators into s
-// non-empty contiguous groups, invoking fn with the exclusive end index of
-// each group. fn must not retain the slice.
-func forEachPartition(numOps, s int, fn func(bounds []int)) {
+// non-empty contiguous groups in lexicographic order, invoking fn with
+// the running rank and the exclusive end index of each group. fn must not
+// retain the slice.
+func forEachPartition(numOps, s int, fn func(rank int, bounds []int)) {
 	bounds := make([]int, s)
 	bounds[s-1] = numOps
+	rank := 0
 	var rec func(stage, start int)
 	rec = func(stage, start int) {
 		if stage == s-1 {
-			fn(bounds)
+			fn(rank, bounds)
+			rank++
 			return
 		}
 		// Stage `stage` takes ops [start, end); leave ≥1 op per later stage.

@@ -47,7 +47,10 @@ func TestPartitionEnumerationCount(t *testing.T) {
 
 func TestForEachPartitionShapes(t *testing.T) {
 	var count int
-	forEachPartition(6, 3, func(bounds []int) {
+	forEachPartition(6, 3, func(rank int, bounds []int) {
+		if rank != count {
+			t.Fatalf("rank %d at partition %d: ranks must count lexicographic emission", rank, count)
+		}
 		count++
 		if len(bounds) != 3 || bounds[2] != 6 {
 			t.Fatalf("bad bounds %v", bounds)

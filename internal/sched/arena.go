@@ -37,6 +37,19 @@ type ArenaPolicy struct {
 	DisableElastic  bool // pin each job to its requested GPU count
 	DisableHetero   bool // pin each job to its requested GPU type
 	DisablePruning  bool // deploy with the full AP search
+
+	// Warnf, when non-nil, receives scheduler warnings (currently:
+	// rigid-mode jobs dropped because no profiled GPU count can run
+	// them). Nil discards warnings, keeping simulation runs quiet; the
+	// messages never influence decisions.
+	Warnf func(format string, args ...any)
+}
+
+// warnf forwards a warning to Warnf when one is installed.
+func (p *ArenaPolicy) warnf(format string, args ...any) {
+	if p.Warnf != nil {
+		p.Warnf(format, args...)
+	}
 }
 
 // NewArena returns the paper-default configuration.
@@ -162,6 +175,16 @@ func (p *ArenaPolicy) Assign(ctx *Context) Assignment {
 			asg.Drop = append(asg.Drop, job.Trace.ID)
 			continue
 		}
+		if p.DisableElastic && len(p.allowedCounts(ctx, job)) == 0 {
+			// Rigid mode with a request no profiled size can serve on any
+			// allowed type: drop the job instead of letting it queue
+			// forever and head-of-line-block its priority queue. (Elastic
+			// counts are never empty, so only rigid mode can drop here.)
+			p.warnf("sched: dropping rigid job %s: no feasible GPU count for request of %d (type %s)",
+				job.Trace.ID, job.Trace.ReqGPUs, job.Trace.ReqType)
+			asg.Drop = append(asg.Drop, job.Trace.ID)
+			continue
+		}
 		depth = 0 // the search depth bounds each launch event (Alg. 1 l.13)
 		if ok := p.tryLaunch(ctx, job, free, target, &depth, &asg); !ok {
 			if job.CurPriority < blockedPrio {
@@ -202,25 +225,42 @@ func (p *ArenaPolicy) allowedTypes(ctx *Context, job *Job) []string {
 }
 
 // allowedCounts respects the elasticity ablation. Without elasticity the
-// request is pinned, but still raised to the smallest feasible size —
-// rigid schedulers size infeasible requests up rather than starving them.
+// request is pinned, but snapped up onto the profiled power-of-two grid
+// and still raised to the smallest feasible size beyond it — rigid
+// schedulers pad requests to the sizes they can actually place rather
+// than starving them. Returns nil when no profiled size up to MaxPerJob
+// is feasible on any allowed type; the launch loop drops such jobs with
+// a warning. (Before the snap, a non-power-of-two request — e.g. 3 —
+// probed 3→6→12 entirely off the profiled grid, saw zero perceived
+// throughput everywhere, and queued forever while head-of-line-blocking
+// its priority queue, silently diverging the w/o-elastic ablation from
+// Fig. 17 on such traces.)
 func (p *ArenaPolicy) allowedCounts(ctx *Context, job *Job) []int {
 	if p.DisableElastic {
-		n := job.Trace.ReqGPUs
-		for ; n <= ctx.MaxPerJob; n *= 2 {
+		for n := ceilPow2(job.Trace.ReqGPUs); n <= ctx.MaxPerJob; n *= 2 {
 			for _, typ := range p.allowedTypes(ctx, job) {
 				if p.PerceivedThr(ctx.DB, job.Workload(), typ, n) > 0 {
 					return []int{n}
 				}
 			}
 		}
-		return []int{job.Trace.ReqGPUs}
+		return nil
 	}
 	var out []int
 	for n := 1; n <= ctx.MaxPerJob; n *= 2 {
 		out = append(out, n)
 	}
 	return out
+}
+
+// ceilPow2 returns the smallest power of two ≥ n (minimum 1) — the
+// granularity the performance database profiles grids at.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
 }
 
 // meetsDeadline checks Eq. 6 for a candidate throughput.
@@ -251,7 +291,13 @@ func (p *ArenaPolicy) hopeless(ctx *Context, job *Job) bool {
 
 // tryLaunch finds the best allocation for a queued job under the
 // remaining free capacity, invoking bounded scale-down of in-flight jobs
-// when the cluster is full (GetOptimalScaleDown).
+// when the cluster is full (GetOptimalScaleDown). Victim shrinks are
+// speculative: they exist only to free capacity for this launch, so they
+// are staged and rolled back — free and target restored, the asg.Place
+// entries returned to their pre-call state — if bestUnderFree still
+// fails at the depth bound. (They used to be applied unconditionally,
+// so a launch that never landed still cost every victim half its GPUs
+// for nothing.)
 func (p *ArenaPolicy) tryLaunch(ctx *Context, job *Job, free map[string]int, target map[string]Alloc, depth *int, asg *Assignment) bool {
 	if alloc, ok := p.bestUnderFree(ctx, job, free); ok {
 		asg.Place[job.Trace.ID] = alloc
@@ -261,6 +307,13 @@ func (p *ArenaPolicy) tryLaunch(ctx *Context, job *Job, free map[string]int, tar
 	}
 	// Cluster full: iteratively scale down the in-flight job that loses
 	// the least throughput per freed GPU, up to the search depth.
+	type shrink struct {
+		victim    *Job
+		old       Alloc // target before this shrink
+		prevPlace Alloc // asg.Place entry before this shrink, if any
+		hadPlace  bool  // (an earlier launch may have already rescaled it)
+	}
+	var staged []shrink
 	for *depth < p.D {
 		victim, newAlloc, ok := p.optimalScaleDown(ctx, free, target)
 		if !ok {
@@ -268,6 +321,8 @@ func (p *ArenaPolicy) tryLaunch(ctx *Context, job *Job, free map[string]int, tar
 		}
 		*depth++
 		old := target[victim.Trace.ID]
+		prev, had := asg.Place[victim.Trace.ID]
+		staged = append(staged, shrink{victim: victim, old: old, prevPlace: prev, hadPlace: had})
 		target[victim.Trace.ID] = newAlloc
 		asg.Place[victim.Trace.ID] = newAlloc
 		free[old.GPUType] += old.N
@@ -277,6 +332,21 @@ func (p *ArenaPolicy) tryLaunch(ctx *Context, job *Job, free map[string]int, tar
 			target[job.Trace.ID] = alloc
 			free[alloc.GPUType] -= alloc.N
 			return true
+		}
+	}
+	// The enabling launch never landed: revert the staged shrinks in
+	// reverse order so the round's capacity and targets are exactly as if
+	// the search had not run.
+	for i := len(staged) - 1; i >= 0; i-- {
+		s := staged[i]
+		cur := target[s.victim.Trace.ID]
+		free[cur.GPUType] += cur.N
+		free[s.old.GPUType] -= s.old.N
+		target[s.victim.Trace.ID] = s.old
+		if s.hadPlace {
+			asg.Place[s.victim.Trace.ID] = s.prevPlace
+		} else {
+			delete(asg.Place, s.victim.Trace.ID)
 		}
 	}
 	return false

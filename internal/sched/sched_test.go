@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -221,6 +222,109 @@ func TestArenaNoScaleUpForNearlyDoneJob(t *testing.T) {
 	asg := p.Assign(ctx)
 	if _, ok := asg.Place["done-soon"]; ok {
 		t.Fatal("nearly-done job should not be rescaled")
+	}
+}
+
+func TestArenaRevertsWastedScaleDown(t *testing.T) {
+	// Regression for the speculative scale-down leak: a queued GPT-6.7B
+	// needs ≥ 4 A40 (and ≥ 8 A10), but the only shrinkable victim runs on
+	// 4 A40 — halving it twice frees 3 GPUs at most, so the launch can
+	// never land. The shrinks are speculative capacity-freeing moves for
+	// that launch; when it fails they must be rolled back, not left in
+	// asg.Place to rob the victim of half its GPUs for nothing.
+	p := NewArena() // D = 3: deep enough to stage both halvings
+	victim := mkJob("victim", "WRes-1B", 256, 4, 1)
+	victim.Alloc = Alloc{GPUType: "A40", N: 4}
+	queued := mkJob("new", "GPT-6.7B", 128, 4, 1)
+	ctx := testCtx(t, []*Job{queued}, []*Job{victim})
+	// Exhaust everything else so scale-down is the only possible source
+	// of capacity (Cluster A: 32×A40 + 32×A10, victim holds 4 A40).
+	if err := ctx.Cluster.Alloc("filler-a40", "A40", 28); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Cluster.Alloc("filler-a10", "A10", 32); err != nil {
+		t.Fatal(err)
+	}
+	asg := p.Assign(ctx)
+	if alloc, ok := asg.Place["new"]; ok {
+		t.Fatalf("GPT-6.7B cannot fit in 3 freeable GPUs, yet launched at %v", alloc)
+	}
+	if down, ok := asg.Place["victim"]; ok {
+		t.Fatalf("victim shrunk to %v although the enabling launch never landed", down)
+	}
+	if len(asg.Place) != 0 {
+		t.Fatalf("failed launch must leave no placements, got %v", asg.Place)
+	}
+}
+
+func TestArenaScaleDownStillLandsWhenLaunchFits(t *testing.T) {
+	// The staging must not break the successful path: identical setup but
+	// with a victim large enough that one halving frees room — the shrink
+	// and the launch must both be in the assignment.
+	p := NewArena()
+	victim := mkJob("victim", "WRes-1B", 256, 16, 1)
+	victim.Alloc = Alloc{GPUType: "A40", N: 16}
+	queued := mkJob("new", "GPT-6.7B", 128, 4, 1)
+	ctx := testCtx(t, []*Job{queued}, []*Job{victim})
+	if err := ctx.Cluster.Alloc("filler-a40", "A40", 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Cluster.Alloc("filler-a10", "A10", 32); err != nil {
+		t.Fatal(err)
+	}
+	asg := p.Assign(ctx)
+	if _, ok := asg.Place["new"]; !ok {
+		t.Fatal("launch should land once the victim's halving frees 8 GPUs")
+	}
+	down, ok := asg.Place["victim"]
+	if !ok || down.N >= 16 {
+		t.Fatalf("victim shrink must persist with the landed launch, got %v (ok=%v)", down, ok)
+	}
+}
+
+func TestArenaRigidNonPow2SnapsToProfiledSize(t *testing.T) {
+	// Regression for rigid-mode starvation: the database profiles
+	// power-of-two grid sizes only, so a rigid 3-GPU request must snap to
+	// 4 (the next profiled size) instead of probing 3→6→12 off the grid
+	// and queueing forever.
+	p := NewArena()
+	p.DisableElastic = true
+	j := mkJob("j1", "WRes-1B", 256, 3, 1)
+	ctx := testCtx(t, []*Job{j}, nil)
+	asg := p.Assign(ctx)
+	alloc, ok := asg.Place["j1"]
+	if !ok {
+		t.Fatal("rigid non-power-of-two job starved on an empty cluster")
+	}
+	if alloc.N != 4 {
+		t.Fatalf("request of 3 must run at the next profiled size 4, got %v", alloc)
+	}
+}
+
+func TestArenaRigidInfeasibleDropped(t *testing.T) {
+	// A rigid request no profiled size can serve (GPT-6.7B needs ≥ 8 A10,
+	// capped here at 4 per job) is dropped with a warning rather than
+	// left to head-of-line-block its priority queue forever.
+	p := NewArena()
+	p.DisableElastic = true
+	p.DisableHetero = true
+	var warnings []string
+	p.Warnf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	j := mkJob("j1", "GPT-6.7B", 128, 3, 1)
+	j.Trace.ReqType = "A10"
+	ctx := testCtx(t, []*Job{j}, nil)
+	ctx.MaxPerJob = 4
+	asg := p.Assign(ctx)
+	if len(asg.Drop) != 1 || asg.Drop[0] != "j1" {
+		t.Fatalf("infeasible rigid job not dropped: %v", asg.Drop)
+	}
+	if _, ok := asg.Place["j1"]; ok {
+		t.Fatal("dropped job must not be placed")
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("expected one drop warning, got %v", warnings)
 	}
 }
 

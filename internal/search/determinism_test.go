@@ -240,12 +240,14 @@ func TestOptionsRejectForeignCache(t *testing.T) {
 	}
 }
 
-// TestSearchPlannerDPParity carries the planner's prefix-DP/exhaustive
-// equivalence through the layers that consume GridPlans: profile a
-// workload with each enumerator, then run the pruned search from the
-// best grid of each. Job profiles (estimates and retained grid plans)
-// and search outcomes must be deep-equal — the whole deployment pipeline
-// may not observe which enumerator planned its grids.
+// TestSearchPlannerDPParity carries the planner's fast-path/reference
+// equivalence — the prefix-DP enumerator and the incremental Pareto
+// sweep against their references — through the layers that consume
+// GridPlans: profile a workload with each variant, then run the pruned
+// search from the best grid of each. Job profiles (estimates and
+// retained grid plans) and search outcomes must be deep-equal — the
+// whole deployment pipeline may not observe which enumerator or which
+// Pareto reduction planned its grids.
 func TestSearchPlannerDPParity(t *testing.T) {
 	eng := exec.NewEngine(42)
 	spec := hw.MustLookup("A40")
@@ -270,12 +272,23 @@ func TestSearchPlannerDPParity(t *testing.T) {
 	dpPl := planner.New()
 	exPl := planner.New()
 	exPl.Exhaustive = true
+	sortedPl := planner.New()
+	sortedPl.SortedPareto = true
+	refPl := planner.New()
+	refPl.Exhaustive = true
+	refPl.SortedPareto = true
 	dpJP, exJP := profile(dpPl), profile(exPl)
-	if !reflect.DeepEqual(dpJP.Estimates, exJP.Estimates) {
-		t.Fatal("profiled estimates diverged between planner enumerators")
-	}
-	if !reflect.DeepEqual(dpJP.GridPlans, exJP.GridPlans) {
-		t.Fatal("retained grid plans diverged between planner enumerators")
+	for name, jp := range map[string]*profiler.JobProfile{
+		"exhaustive":        exJP,
+		"sorted-pareto":     profile(sortedPl),
+		"exhaustive+sorted": profile(refPl),
+	} {
+		if !reflect.DeepEqual(dpJP.Estimates, jp.Estimates) {
+			t.Fatalf("profiled estimates diverged between default and %s planner", name)
+		}
+		if !reflect.DeepEqual(dpJP.GridPlans, jp.GridPlans) {
+			t.Fatalf("retained grid plans diverged between default and %s planner", name)
+		}
 	}
 
 	r := core.Resource{GPUType: "A40", N: 8}

@@ -1,0 +1,292 @@
+// Command shadowcheck is the repository's shadow gate: it rejects any
+// declaration that shadows a context.Context-typed parameter in a
+// nested scope. The pattern it exists for: sim.RunCtx once declared
+// `ctx := &sched.Context{...}` inside its round loop, shadowing the
+// `ctx context.Context` parameter — the cancellation check read the
+// right variable only by accident of statement order, and any later
+// edit touching the loop could silently stop honouring cancellation.
+//
+// The check is deliberately narrower than the x/tools shadow analyzer:
+// shadowing a cancellation context is never intentional in this tree
+// (rename the local instead), while a general shadow lint drowns that
+// signal in idiomatic `err :=` noise. It is pure go/ast — no type
+// information, no dependencies — so it runs offline, in CI (see
+// .github/workflows/ci.yml), and inside `go test ./...` via its own
+// package test, which sweeps the whole repository.
+//
+// Usage: go run ./internal/shadowcheck <dir>...
+// Exit status 1 means at least one shadow was found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var diags []string
+	for _, root := range roots {
+		ds, err := checkTree(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shadowcheck: %v\n", err)
+			os.Exit(2)
+		}
+		diags = append(diags, ds...)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkTree walks a directory tree and checks every .go file.
+func checkTree(root string) ([]string, error) {
+	var diags []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		ds, err := checkFile(path)
+		if err != nil {
+			return err
+		}
+		diags = append(diags, ds...)
+		return nil
+	})
+	return diags, err
+}
+
+// Tracking levels for a context-parameter name, relative to the function
+// body being walked: an own parameter is reused (not shadowed) by a
+// same-scope `:=`, while a name captured from an enclosing function is
+// shadowed by any declaration inside the literal, including top-level.
+const (
+	ownParam = iota + 1
+	captured
+)
+
+// checkFile parses one file and reports context-parameter shadows.
+func checkFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var diags []string
+	report := func(pos token.Pos, name string) {
+		p := fset.Position(pos)
+		diags = append(diags, fmt.Sprintf("%s: declaration of %q shadows a context.Context parameter", p, name))
+	}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		names := map[string]int{}
+		for name := range ctxParams(fn.Type) {
+			names[name] = ownParam
+		}
+		walkBody(fn.Body, names, report)
+	}
+	return diags, nil
+}
+
+// ctxParams returns the names of a function's context.Context-typed
+// parameters (matched syntactically — the conventional spelling).
+func ctxParams(ft *ast.FuncType) map[string]bool {
+	names := map[string]bool{}
+	if ft.Params == nil {
+		return names
+	}
+	for _, field := range ft.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "context" {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				names[name.Name] = true
+			}
+		}
+	}
+	return names
+}
+
+// walkBody walks a function's outermost block, where `:=` reuses an own
+// parameter (Go forbids a same-scope redeclaration) but still shadows a
+// captured name.
+func walkBody(body *ast.BlockStmt, names map[string]int, report func(token.Pos, string)) {
+	for _, st := range body.List {
+		walkStmt(st, names, false, report)
+	}
+}
+
+// walkStmt inspects one statement. nested reports whether the statement
+// sits in a scope below the function's outermost block, where a `:=` of
+// any tracked name declares a fresh (shadowing) variable.
+func walkStmt(st ast.Stmt, names map[string]int, nested bool, report func(token.Pos, string)) {
+	shadows := func(name string) bool {
+		lvl, ok := names[name]
+		return ok && (nested || lvl == captured)
+	}
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.DEFINE {
+			for _, e := range s.Lhs {
+				if id, ok := e.(*ast.Ident); ok && shadows(id.Name) {
+					report(id.Pos(), id.Name)
+				}
+			}
+		}
+		for _, rhs := range s.Rhs {
+			walkExpr(rhs, names, report)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if shadows(name.Name) {
+						report(name.Pos(), name.Name)
+					}
+				}
+				for _, v := range vs.Values {
+					walkExpr(v, names, report)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			walkStmt(inner, names, true, report)
+		}
+	case *ast.IfStmt:
+		walkInit(s.Init, names, report)
+		walkExpr(s.Cond, names, report)
+		walkStmt(s.Body, names, true, report)
+		if s.Else != nil {
+			walkStmt(s.Else, names, true, report)
+		}
+	case *ast.ForStmt:
+		walkInit(s.Init, names, report)
+		walkExpr(s.Cond, names, report)
+		if s.Post != nil {
+			walkStmt(s.Post, names, true, report)
+		}
+		walkStmt(s.Body, names, true, report)
+	case *ast.RangeStmt:
+		if s.Tok == token.DEFINE {
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok && names[id.Name] != 0 {
+					report(id.Pos(), id.Name) // range vars always open a new scope
+				}
+			}
+		}
+		walkExpr(s.X, names, report)
+		walkStmt(s.Body, names, true, report)
+	case *ast.SwitchStmt:
+		walkInit(s.Init, names, report)
+		walkExpr(s.Tag, names, report)
+		walkStmt(s.Body, names, true, report)
+	case *ast.TypeSwitchStmt:
+		walkInit(s.Init, names, report)
+		walkStmt(s.Assign, names, true, report)
+		walkStmt(s.Body, names, true, report)
+	case *ast.SelectStmt:
+		walkStmt(s.Body, names, true, report)
+	case *ast.CaseClause:
+		for _, inner := range s.Body {
+			walkStmt(inner, names, true, report)
+		}
+	case *ast.CommClause:
+		if s.Comm != nil {
+			walkStmt(s.Comm, names, true, report)
+		}
+		for _, inner := range s.Body {
+			walkStmt(inner, names, true, report)
+		}
+	case *ast.LabeledStmt:
+		walkStmt(s.Stmt, names, nested, report)
+	case *ast.ExprStmt:
+		walkExpr(s.X, names, report)
+	case *ast.GoStmt:
+		walkExpr(s.Call, names, report)
+	case *ast.DeferStmt:
+		walkExpr(s.Call, names, report)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			walkExpr(e, names, report)
+		}
+	case *ast.SendStmt:
+		walkExpr(s.Chan, names, report)
+		walkExpr(s.Value, names, report)
+	}
+}
+
+// walkInit handles the implicit scope of an if/for/switch initializer:
+// `if ctx := ...; ...` shadows exactly like a declaration in the body.
+func walkInit(st ast.Stmt, names map[string]int, report func(token.Pos, string)) {
+	if st != nil {
+		walkStmt(st, names, true, report)
+	}
+}
+
+// walkExpr descends into expressions looking for function literals. A
+// literal's tracking set demotes the enclosing function's names to
+// captured (any redeclaration inside the literal shadows them), removes
+// names the literal rebinds as parameters of a non-context type, and
+// adds the literal's own context parameters as own.
+func walkExpr(e ast.Expr, names map[string]int, report func(token.Pos, string)) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		inner := map[string]int{}
+		for name := range names {
+			inner[name] = captured
+		}
+		if lit.Type.Params != nil {
+			for _, field := range lit.Type.Params.List {
+				for _, name := range field.Names {
+					delete(inner, name.Name)
+				}
+			}
+		}
+		for name := range ctxParams(lit.Type) {
+			inner[name] = ownParam
+		}
+		walkBody(lit.Body, inner, report)
+		return false // walkBody descends further
+	})
+}

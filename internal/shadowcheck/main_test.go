@@ -1,0 +1,164 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// check parses one synthetic source and returns its diagnostics.
+func check(t *testing.T, src string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "src.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestShadowInNestedBlock(t *testing.T) {
+	// The sim.RunCtx bug, minimized: a loop-local declaration reusing
+	// the context parameter's name.
+	diags := check(t, `package p
+import "context"
+func run(ctx context.Context) {
+	for i := 0; i < 3; i++ {
+		ctx := &struct{}{}
+		_ = ctx
+	}
+	_ = ctx
+}`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+}
+
+func TestSameScopeReassignIsFine(t *testing.T) {
+	// `ctx, cancel := context.WithCancel(ctx)` at body top level reuses
+	// the parameter — the idiom must not be flagged.
+	diags := check(t, `package p
+import "context"
+func run(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = ctx
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestShadowInIfInit(t *testing.T) {
+	diags := check(t, `package p
+import "context"
+func run(ctx context.Context) {
+	if ctx := 1; ctx > 0 {
+		_ = ctx
+	}
+	_ = ctx
+}`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+}
+
+func TestShadowInRange(t *testing.T) {
+	diags := check(t, `package p
+import "context"
+func run(ctx context.Context, xs []int) {
+	for _, ctx = range xs {
+	}
+	for _, ctx := range xs {
+		_ = ctx
+	}
+}`)
+	if len(diags) != 1 { // only the := form declares
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+}
+
+func TestShadowInVarDecl(t *testing.T) {
+	diags := check(t, `package p
+import "context"
+func run(ctx context.Context) {
+	{
+		var ctx int
+		_ = ctx
+	}
+	_ = ctx
+}`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+}
+
+func TestFuncLitCapturedShadow(t *testing.T) {
+	// Inside a literal the captured parameter is shadowed even by a
+	// top-level declaration — the literal's body is a fresh scope.
+	diags := check(t, `package p
+import "context"
+func run(ctx context.Context) {
+	f := func() {
+		ctx := 1
+		_ = ctx
+	}
+	f()
+	_ = ctx
+}`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+}
+
+func TestFuncLitOwnParamIsFine(t *testing.T) {
+	// A literal taking its own context parameter owns the name; its
+	// top-level := then reuses, exactly like a named function.
+	diags := check(t, `package p
+import "context"
+func run(ctx context.Context) {
+	f := func(ctx context.Context) {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		_ = ctx
+	}
+	f(ctx)
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestNonContextParamsUntracked(t *testing.T) {
+	diags := check(t, `package p
+func run(n int) {
+	{
+		n := 2
+		_ = n
+	}
+	_ = n
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+// TestRepositoryIsShadowFree sweeps the whole module: the sim.RunCtx
+// class of bug cannot recur while this test is green.
+func TestRepositoryIsShadowFree(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := checkTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Error(d)
+	}
+}

@@ -136,7 +136,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		s.advanceTo(now)
 		s.admit(now)
 
-		ctx := &sched.Context{
+		// Named rctx, not ctx: shadowing the context.Context parameter
+		// here once hid a cancellation bug (the vet shadow check in CI
+		// now rejects the pattern).
+		rctx := &sched.Context{
 			Now:       now,
 			Queued:    s.queued,
 			Running:   s.running,
@@ -144,7 +147,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 			DB:        cfg.DB,
 			MaxPerJob: cfg.MaxPerJob,
 		}
-		asg := cfg.Policy.Assign(ctx)
+		asg := cfg.Policy.Assign(rctx)
 		s.apply(now, asg)
 
 		s.sampleThroughput(now)
@@ -385,10 +388,22 @@ func (s *state) done() bool {
 
 // finish assembles the metrics summary.
 func (s *state) finish(end float64) *Result {
+	// Total counts the jobs that belong to the simulated horizon: done,
+	// running, queued, and the pending jobs whose trace submission falls
+	// inside it. A pending job submitted after the horizon (a MaxRounds
+	// cap can end the simulation mid-trace) was never part of this run —
+	// counting it inflated Total and skewed every per-job ratio derived
+	// from it.
+	total := len(s.done_) + len(s.running) + len(s.queued)
+	for _, j := range s.pending {
+		if j.Trace.SubmitTime <= end {
+			total++
+		}
+	}
 	sum := metrics.Summary{
 		Policy:           s.cfg.Policy.Name(),
 		ThroughputSeries: s.thrSeries,
-		Total:            len(s.done_) + len(s.running) + len(s.queued) + len(s.pending),
+		Total:            total,
 	}
 	consider := append([]*sched.Job(nil), s.done_...)
 	if s.cfg.IncludeUnfinished {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -234,6 +235,116 @@ func TestSimMaxRoundsBound(t *testing.T) {
 		if jct < 0 {
 			t.Errorf("negative censored JCT %v", jct)
 		}
+	}
+}
+
+func TestSimRigidNonPow2TraceFinishes(t *testing.T) {
+	// Regression for rigid-mode starvation: with elasticity disabled, a
+	// hand-written trace requesting 3 GPUs (production traces are
+	// power-of-two, user-written ones need not be) used to probe 3→6→12
+	// off the profiled grid and queue forever — the simulation ran out
+	// its entire drain horizon with the job still queued, silently
+	// diverging the w/o-elastic ablation. The request must snap to the
+	// next profiled size and finish.
+	p := sched.NewArena()
+	p.DisableElastic = true
+	jobs := []trace.Job{{
+		ID:         "rigid-3",
+		Workload:   model.Workload{Model: "WRes-1B", GlobalBatch: 256},
+		Iterations: 50, ReqGPUs: 3, ReqType: "A40", Priority: 1,
+	}}
+	res := runSim(t, p, jobs)
+	if res.Finished != 1 {
+		t.Fatalf("rigid 3-GPU job starved: finished=%d dropped=%d", res.Finished, res.Dropped)
+	}
+	if res.Jobs[0].Alloc.N != 4 {
+		t.Errorf("job ran at %d GPUs, want the snapped profiled size 4", res.Jobs[0].Alloc.N)
+	}
+}
+
+// arenaVariants enumerates every ablation and objective variant of the
+// Arena policy (the Fig. 17 matrix plus the §5.6/§5.5 objectives).
+func arenaVariants() map[string]func() *sched.ArenaPolicy {
+	mk := func(mod func(*sched.ArenaPolicy)) func() *sched.ArenaPolicy {
+		return func() *sched.ArenaPolicy {
+			p := sched.NewArena()
+			mod(p)
+			return p
+		}
+	}
+	return map[string]func() *sched.ArenaPolicy{
+		"arena":        mk(func(p *sched.ArenaPolicy) {}),
+		"w/o-planner":  mk(func(p *sched.ArenaPolicy) { p.DisablePlanner = true }),
+		"w/o-profiler": mk(func(p *sched.ArenaPolicy) { p.DisableProfiler = true }),
+		"w/o-elastic":  mk(func(p *sched.ArenaPolicy) { p.DisableElastic = true }),
+		"w/o-hetero":   mk(func(p *sched.ArenaPolicy) { p.DisableHetero = true }),
+		"w/o-pruning":  mk(func(p *sched.ArenaPolicy) { p.DisablePruning = true }),
+		"ddl":          mk(func(p *sched.ArenaPolicy) { p.Objective = sched.ObjDeadline }),
+		"fair":         mk(func(p *sched.ArenaPolicy) { p.Objective = sched.ObjFairness }),
+	}
+}
+
+// jobOutcome is the per-job end state the determinism matrix compares.
+type jobOutcome struct {
+	State      sched.JobState
+	FinishedAt float64
+	LaunchedAt float64
+	Alloc      sched.Alloc
+	Resched    int
+	Remaining  float64
+}
+
+func outcomes(res *Result) map[string]jobOutcome {
+	out := map[string]jobOutcome{}
+	for _, j := range res.Jobs {
+		out[j.Trace.ID] = jobOutcome{
+			State: j.State, FinishedAt: j.FinishedAt, LaunchedAt: j.LaunchedAt,
+			Alloc: j.Alloc, Resched: j.Resched, Remaining: j.RemainingSamples,
+		}
+	}
+	return out
+}
+
+func TestSimAblationMatrixDeterministic(t *testing.T) {
+	// Every Disable* / objective variant must simulate bit-identically
+	// across two runs — the §5.7 ablation comparisons are meaningless if
+	// any variant's trajectory depends on map order or leftover state.
+	jobs := testJobs(t, 30)
+	for name, mk := range arenaVariants() {
+		a := runSim(t, mk(), jobs)
+		b := runSim(t, mk(), jobs)
+		if !reflect.DeepEqual(a.Summary, b.Summary) {
+			t.Errorf("%s: summaries differ between identical runs", name)
+		}
+		if !reflect.DeepEqual(outcomes(a), outcomes(b)) {
+			t.Errorf("%s: per-job outcomes differ between identical runs", name)
+		}
+	}
+}
+
+func TestSimTotalRespectsHorizon(t *testing.T) {
+	// Regression: Total once counted every trace job, including pending
+	// jobs whose submission lies beyond a MaxRounds-capped horizon —
+	// jobs the simulation never saw.
+	jobs := testJobs(t, 40)
+	res, err := Run(Config{
+		Spec: hw.ClusterA(), Policy: policy.NewFCFS(), Jobs: jobs, DB: db(t),
+		RoundSeconds: 300, MaxRounds: 4, IncludeUnfinished: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, j := range jobs {
+		if j.SubmitTime <= res.Horizon {
+			want++
+		}
+	}
+	if want >= len(jobs) {
+		t.Fatalf("fixture broken: all %d jobs inside the %vs horizon", len(jobs), res.Horizon)
+	}
+	if res.Total != want {
+		t.Errorf("Total = %d, want the %d jobs submitted within the horizon", res.Total, want)
 	}
 }
 

@@ -96,10 +96,13 @@
 package arena
 
 import (
+	"io"
+
 	"github.com/sjtu-epcc/arena/internal/cluster"
 	"github.com/sjtu-epcc/arena/internal/core"
 	"github.com/sjtu-epcc/arena/internal/evalcache"
 	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/faults"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/metrics"
 	"github.com/sjtu-epcc/arena/internal/model"
@@ -418,6 +421,32 @@ func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 
 // Summary aggregates scheduling statistics (JCT, queuing, throughput).
 type Summary = metrics.Summary
+
+// --- Fault injection (internal/faults) ---
+
+// FaultsConfig drives deterministic fault injection in Simulate: Poisson
+// crash/recovery and straggler processes, scripted failure traces,
+// checkpoint-restart accounting, and the retry/backoff policy.
+type FaultsConfig = faults.Config
+
+// FaultModel is the stochastic per-GPU-type crash/straggler model.
+type FaultModel = faults.Model
+
+// TypeFaults parameterizes one GPU type's fault processes.
+type TypeFaults = faults.TypeFaults
+
+// FaultEvent is one scripted or generated fault occurrence.
+type FaultEvent = faults.Event
+
+// FaultSchedule is a time-ordered fault-event sequence.
+type FaultSchedule = faults.Schedule
+
+// ParseFaultTrace reads a scripted failure trace (one event per line;
+// malformed lines are rejected with a typed error).
+func ParseFaultTrace(r io.Reader) (FaultSchedule, error) { return faults.ParseTrace(r) }
+
+// LoadFaultTrace reads a scripted failure trace from a file.
+func LoadFaultTrace(path string) (FaultSchedule, error) { return faults.LoadTrace(path) }
 
 // --- Intra-job heterogeneity extension (§6) ---
 

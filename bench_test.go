@@ -18,6 +18,7 @@ import (
 	"github.com/sjtu-epcc/arena/internal/core"
 	"github.com/sjtu-epcc/arena/internal/evalcache"
 	"github.com/sjtu-epcc/arena/internal/experiments"
+	"github.com/sjtu-epcc/arena/internal/faults"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/model"
 	"github.com/sjtu-epcc/arena/internal/perfdb"
@@ -300,6 +301,39 @@ func BenchmarkSimRun(b *testing.B) {
 			res, err := sim.Run(sim.Config{
 				Spec: hw.ClusterA(), Policy: sched.NewArena(), Jobs: simBenchJobs,
 				DB: simBenchDB, RoundSeconds: 300, IncludeUnfinished: true, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res == nil {
+				b.Fatal("nil simulation result")
+			}
+		}
+	})
+}
+
+// BenchmarkSimRunFaults guards the fault-injected simulation path: the
+// same Cluster-A Arena run as BenchmarkSimRun, but with a stochastic
+// crash/straggler model and checkpoint accounting active, so regressions
+// in event interleaving or goodput bookkeeping surface here rather than
+// in the failure-free benchmark.
+func BenchmarkSimRunFaults(b *testing.B) {
+	simBenchSetup()
+	if simBenchErr != nil {
+		b.Fatal(simBenchErr)
+	}
+	fc := &faults.Config{
+		Model: &faults.Model{
+			Default: faults.TypeFaults{MTBF: 6 * 3600, MTTR: 1800, SlowEvery: 12 * 3600},
+		},
+		CheckpointInterval: 900,
+	}
+	b.Run("arena", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{
+				Spec: hw.ClusterA(), Policy: sched.NewArena(), Jobs: simBenchJobs,
+				DB: simBenchDB, RoundSeconds: 300, IncludeUnfinished: true, Seed: 1,
+				Faults: fc,
 			})
 			if err != nil {
 				b.Fatal(err)

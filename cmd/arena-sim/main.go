@@ -6,6 +6,12 @@
 //	arena-sim -policy arena -trace philly -cluster sim -jobs 3000
 //	arena-sim -policy all -trace philly -cluster a -store ./measurements
 //	arena-sim -policy sia -trace pai -cluster sim -jobs 450 -workers 4
+//
+// Fault injection (deterministic, drawn from -seed):
+//
+//	arena-sim -policy arena -mtbf 12 -mttr 0.5 -straggler-mtbs 24
+//	arena-sim -policy all -fault-trace storm.txt -checkpoint-interval 900
+//	arena-sim -policy arena -mtbf 6 -no-fault-recovery   # ablation
 package main
 
 import (
@@ -26,6 +32,13 @@ func main() {
 		jobs        = flag.Int("jobs", 0, "job count (0 = per-trace default)")
 		scale       = flag.Float64("scale", 12, "job lifespan scale")
 		rounds      = flag.Int("rounds", 0, "max scheduling rounds (0 = auto)")
+
+		mtbf       = flag.Float64("mtbf", 0, "mean time between per-node crashes, hours (0 = no crash injection)")
+		mttr       = flag.Float64("mttr", 0.5, "mean node repair time, hours")
+		slowMTBS   = flag.Float64("straggler-mtbs", 0, "mean time between per-node straggler episodes, hours (0 = none)")
+		faultTrace = flag.String("fault-trace", "", "scripted failure-trace file (lines: <time> crash|recover <type> <node>, <time> slow <type> <node> <factor> <dur>)")
+		ckptEvery  = flag.Float64("checkpoint-interval", 1800, "modeled checkpoint period, seconds of productive training")
+		noRecovery = flag.Bool("no-fault-recovery", false, "ablation: preempted jobs fail instead of restarting from checkpoint")
 	)
 	c := cli.CommonFlags()
 	flag.Parse()
@@ -61,18 +74,28 @@ func main() {
 	db, src := cli.BuildDB(ctx, sess)
 	fmt.Printf("  %d entries (%s) in %v\n\n", len(db.Keys()), src, time.Since(start).Round(time.Millisecond))
 
+	fc, err := faultConfig(*mtbf, *mttr, *slowMTBS, *faultTrace, *ckptEvery, *noRecovery)
+	if err != nil {
+		cli.Fatal(err)
+	}
+
 	pols, err := pickPolicies(*policyName)
 	if err != nil {
 		cli.Fatal(err)
 	}
 	window := int(cfg.Duration / 300)
-	fmt.Printf("%-16s %10s %10s %10s %10s %8s %9s\n",
+	header := fmt.Sprintf("%-16s %10s %10s %10s %10s %8s %9s",
 		"policy", "avgJCT(s)", "avgQ(s)", "avgThr", "peakThr", "finished", "resched")
+	if fc.Enabled() {
+		header += fmt.Sprintf(" %10s %10s %7s %6s", "goodGPUh", "wasteGPUh", "restart", "failed")
+	}
+	fmt.Println(header)
 	for _, p := range pols {
 		res, err := sess.Simulate(ctx, arena.SimConfig{
 			Policy: p, Jobs: traceJobs,
 			RoundSeconds: 300, MaxRounds: pick(*rounds, 2*window+576),
 			IncludeUnfinished: true, Seed: c.Seed,
+			Faults: fc,
 		})
 		if err != nil {
 			cli.Fatal(err)
@@ -81,11 +104,46 @@ func main() {
 		if len(series) > window {
 			series = series[:window]
 		}
-		fmt.Printf("%-16s %10.0f %10.0f %10.1f %10.1f %5d/%-3d %9.2f\n",
+		row := fmt.Sprintf("%-16s %10.0f %10.0f %10.1f %10.1f %5d/%-3d %9.2f",
 			p.Name(), res.AvgJCT, res.AvgQueue,
 			metrics.Mean(series), metrics.Max(series),
 			res.Finished, res.Total, res.AvgReschedules)
+		if fc.Enabled() {
+			row += fmt.Sprintf(" %10.1f %10.1f %7d %6d",
+				res.GoodputGPUHours, res.WastedGPUHours, res.Restarts, res.Failed)
+		}
+		fmt.Println(row)
 	}
+}
+
+// faultConfig assembles the fault-injection configuration from the flags;
+// nil (disabled) when neither a crash/straggler model nor a trace is
+// requested.
+func faultConfig(mtbfH, mttrH, slowH float64, tracePath string, ckptEvery float64, noRecovery bool) (*arena.FaultsConfig, error) {
+	fc := &arena.FaultsConfig{
+		CheckpointInterval: ckptEvery,
+		DisableRecovery:    noRecovery,
+	}
+	if mtbfH > 0 || slowH > 0 {
+		fc.Model = &arena.FaultModel{
+			Default: arena.TypeFaults{
+				MTBF:      mtbfH * 3600,
+				MTTR:      mttrH * 3600,
+				SlowEvery: slowH * 3600,
+			},
+		}
+	}
+	if tracePath != "" {
+		sched, err := arena.LoadFaultTrace(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		fc.Trace = sched
+	}
+	if !fc.Enabled() {
+		return nil, nil
+	}
+	return fc, nil
 }
 
 func pickPolicies(name string) ([]arena.Policy, error) {

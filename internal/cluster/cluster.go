@@ -22,8 +22,14 @@ type regionState struct {
 	gpuType     string
 	gpusPerNode int
 	freePerNode []int // free GPUs per node
-	totalFree   int
+	totalFree   int   // free GPUs on *up* nodes (down capacity is not free)
 	totalGPUs   int
+
+	// Fault state (internal/faults): down nodes are excluded from
+	// allocation and from totalFree; slow[i] > 0 marks a straggler node
+	// whose achieved throughput is multiplied by that factor.
+	down []bool
+	slow []float64
 }
 
 type allocation struct {
@@ -48,6 +54,8 @@ func New(spec hw.ClusterSpec) (*Cluster, error) {
 			gpuType:     r.GPUType,
 			gpusPerNode: g.GPUsPerNode,
 			freePerNode: make([]int, r.Nodes),
+			down:        make([]bool, r.Nodes),
+			slow:        make([]float64, r.Nodes),
 		}
 		for i := range rs.freePerNode {
 			rs.freePerNode[i] = g.GPUsPerNode
@@ -119,8 +127,8 @@ func (c *Cluster) CanAlloc(gpuType string, n int) bool {
 	}
 	if n <= rs.gpusPerNode {
 		// Best-fit within one node.
-		for _, free := range rs.freePerNode {
-			if free >= n {
+		for i, free := range rs.freePerNode {
+			if !rs.down[i] && free >= n {
 				return true
 			}
 		}
@@ -132,8 +140,34 @@ func (c *Cluster) CanAlloc(gpuType string, n int) bool {
 	}
 	needed := (n + rs.gpusPerNode - 1) / rs.gpusPerNode
 	freeNodes := 0
-	for _, free := range rs.freePerNode {
-		if free == rs.gpusPerNode {
+	for i, free := range rs.freePerNode {
+		if !rs.down[i] && free == rs.gpusPerNode {
+			freeNodes++
+		}
+	}
+	return freeNodes >= needed
+}
+
+// CanAllocHealthy is CanAlloc restricted to fully healthy nodes: up and
+// not degraded. The straggler-routing policy uses it to check that a slow
+// allocation has somewhere better to go before paying a migration.
+func (c *Cluster) CanAllocHealthy(gpuType string, n int) bool {
+	rs, ok := c.regions[gpuType]
+	if !ok || n < 1 {
+		return false
+	}
+	if n <= rs.gpusPerNode {
+		for i, free := range rs.freePerNode {
+			if !rs.down[i] && rs.slow[i] == 0 && free >= n {
+				return true
+			}
+		}
+		return false
+	}
+	needed := (n + rs.gpusPerNode - 1) / rs.gpusPerNode
+	freeNodes := 0
+	for i, free := range rs.freePerNode {
+		if !rs.down[i] && rs.slow[i] == 0 && free == rs.gpusPerNode {
 			freeNodes++
 		}
 	}
@@ -159,11 +193,22 @@ func (c *Cluster) Alloc(jobID, gpuType string, n int) error {
 	}
 	var blocks []allocation
 	if n <= rs.gpusPerNode {
-		// Best fit: the fullest node that still fits, preserving big blocks.
+		// Best fit: the fullest node that still fits, preserving big
+		// blocks. Two passes — fully healthy nodes first, then degraded
+		// (but up) ones — so placement avoids stragglers when it can.
+		// With no fault state every node is healthy and the first pass is
+		// exactly the historic best-fit.
 		best, bestFree := -1, rs.gpusPerNode+1
 		for i, free := range rs.freePerNode {
-			if free >= n && free < bestFree {
+			if !rs.down[i] && rs.slow[i] == 0 && free >= n && free < bestFree {
 				best, bestFree = i, free
+			}
+		}
+		if best < 0 {
+			for i, free := range rs.freePerNode {
+				if !rs.down[i] && free >= n && free < bestFree {
+					best, bestFree = i, free
+				}
 			}
 		}
 		rs.freePerNode[best] -= n
@@ -172,19 +217,25 @@ func (c *Cluster) Alloc(jobID, gpuType string, n int) error {
 	} else {
 		needed := (n + rs.gpusPerNode - 1) / rs.gpusPerNode
 		remaining := n
-		for i := 0; i < len(rs.freePerNode) && needed > 0; i++ {
-			if rs.freePerNode[i] != rs.gpusPerNode {
-				continue
+		// Healthy fully-free nodes first, then degraded fully-free ones.
+		for pass := 0; pass < 2 && needed > 0; pass++ {
+			for i := 0; i < len(rs.freePerNode) && needed > 0; i++ {
+				if rs.down[i] || rs.freePerNode[i] != rs.gpusPerNode {
+					continue
+				}
+				if (pass == 0) != (rs.slow[i] == 0) {
+					continue
+				}
+				take := rs.gpusPerNode
+				if remaining < take {
+					take = remaining
+				}
+				rs.freePerNode[i] -= take
+				rs.totalFree -= take
+				blocks = append(blocks, allocation{gpuType: gpuType, node: i, gpus: take})
+				remaining -= take
+				needed--
 			}
-			take := rs.gpusPerNode
-			if remaining < take {
-				take = remaining
-			}
-			rs.freePerNode[i] -= take
-			rs.totalFree -= take
-			blocks = append(blocks, allocation{gpuType: gpuType, node: i, gpus: take})
-			remaining -= take
-			needed--
 		}
 		if remaining != 0 {
 			// CanAlloc guaranteed feasibility; this is a programming error.
@@ -196,13 +247,95 @@ func (c *Cluster) Alloc(jobID, gpuType string, n int) error {
 }
 
 // Free releases everything a job holds. Freeing an unknown job is a no-op.
+// Blocks on down nodes return to the node's free map but not to totalFree
+// — that capacity comes back only when the node recovers.
 func (c *Cluster) Free(jobID string) {
 	for _, b := range c.allocs[jobID] {
 		rs := c.regions[b.gpuType]
 		rs.freePerNode[b.node] += b.gpus
-		rs.totalFree += b.gpus
+		if !rs.down[b.node] {
+			rs.totalFree += b.gpus
+		}
 	}
 	delete(c.allocs, jobID)
+}
+
+// FailNode marks a node down, removing its free capacity, and returns the
+// IDs of jobs holding GPUs on it (sorted) — the victims the caller must
+// preempt (each Free returns its blocks to the node's map, parked until
+// recovery). Failing a node that is already down is a no-op.
+func (c *Cluster) FailNode(gpuType string, node int) []string {
+	rs, ok := c.regions[gpuType]
+	if !ok || node < 0 || node >= len(rs.freePerNode) || rs.down[node] {
+		return nil
+	}
+	rs.down[node] = true
+	rs.totalFree -= rs.freePerNode[node]
+	var victims []string
+	for id, blocks := range c.allocs {
+		for _, b := range blocks {
+			if b.gpuType == gpuType && b.node == node {
+				victims = append(victims, id)
+				break
+			}
+		}
+	}
+	sort.Strings(victims)
+	return victims
+}
+
+// RecoverNode returns a down node's capacity to service. The caller must
+// have preempted (freed) the node's victims at failure time, so the whole
+// node is free again. Recovering an up node is a no-op.
+func (c *Cluster) RecoverNode(gpuType string, node int) {
+	rs, ok := c.regions[gpuType]
+	if !ok || node < 0 || node >= len(rs.freePerNode) || !rs.down[node] {
+		return
+	}
+	rs.down[node] = false
+	rs.totalFree += rs.freePerNode[node]
+}
+
+// NodeDown reports whether a node is currently failed.
+func (c *Cluster) NodeDown(gpuType string, node int) bool {
+	rs, ok := c.regions[gpuType]
+	if !ok || node < 0 || node >= len(rs.down) {
+		return false
+	}
+	return rs.down[node]
+}
+
+// SetSlow marks a node as a straggler with the given throughput factor;
+// ClearSlow ends the episode. Out-of-range targets are ignored.
+func (c *Cluster) SetSlow(gpuType string, node int, factor float64) {
+	rs, ok := c.regions[gpuType]
+	if !ok || node < 0 || node >= len(rs.slow) {
+		return
+	}
+	rs.slow[node] = factor
+}
+
+// ClearSlow ends a node's straggler episode.
+func (c *Cluster) ClearSlow(gpuType string, node int) {
+	rs, ok := c.regions[gpuType]
+	if !ok || node < 0 || node >= len(rs.slow) {
+		return
+	}
+	rs.slow[node] = 0
+}
+
+// SlowFactor returns the job's achieved-throughput multiplier: the worst
+// (minimum) straggler factor over the nodes it occupies — synchronous
+// training runs at the slowest worker's pace. 1 means healthy.
+func (c *Cluster) SlowFactor(jobID string) float64 {
+	factor := 1.0
+	for _, b := range c.allocs[jobID] {
+		rs := c.regions[b.gpuType]
+		if s := rs.slow[b.node]; s > 0 && s < factor {
+			factor = s
+		}
+	}
+	return factor
 }
 
 // LargestAllocatable returns the biggest power-of-two GPU count currently

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ErrTraceSyntax is the sentinel wrapped by every *ParseError, so callers
+// can match the class with errors.Is and still read the line detail.
+var ErrTraceSyntax = errors.New("malformed fault trace")
+
+// ParseError reports a rejected fault-trace line. It wraps ErrTraceSyntax.
+type ParseError struct {
+	Line int    // 1-based line number
+	Text string // the offending line, trimmed
+	Err  error  // what was wrong with it
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("fault trace line %d %q: %v", e.Line, e.Text, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return ErrTraceSyntax }
+
+// ParseTrace reads a scripted failure trace. One event per line, blank
+// lines and #-comments ignored:
+//
+//	<time> crash <gpu-type> <node>
+//	<time> recover <gpu-type> <node>
+//	<time> slow <gpu-type> <node> <factor> <duration>
+//
+// Times and durations are seconds; slow lines expand to a SlowStart /
+// SlowEnd pair with the given throughput factor in (0, 1). Malformed
+// input is rejected with a *ParseError naming the line — never silently
+// skipped, so a typo'd experiment script cannot quietly run failure-free.
+func ParseTrace(r io.Reader) (Schedule, error) {
+	var out Schedule
+	sc := bufio.NewScanner(r)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(err error) (Schedule, error) {
+			return nil, &ParseError{Line: lineNo, Text: line, Err: err}
+		}
+		if len(fields) < 4 {
+			return fail(fmt.Errorf("want <time> <kind> <gpu-type> <node>, got %d fields", len(fields)))
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || t < 0 {
+			return fail(fmt.Errorf("bad time %q", fields[0]))
+		}
+		node, err := strconv.Atoi(fields[3])
+		if err != nil || node < 0 {
+			return fail(fmt.Errorf("bad node index %q", fields[3]))
+		}
+		gpuType := fields[2]
+		switch fields[1] {
+		case "crash", "recover":
+			if len(fields) != 4 {
+				return fail(fmt.Errorf("%s takes exactly 4 fields, got %d", fields[1], len(fields)))
+			}
+			kind := Crash
+			if fields[1] == "recover" {
+				kind = Recover
+			}
+			out = append(out, Event{Time: t, Kind: kind, GPUType: gpuType, Node: node})
+		case "slow":
+			if len(fields) != 6 {
+				return fail(fmt.Errorf("slow takes exactly 6 fields, got %d", len(fields)))
+			}
+			factor, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil || factor <= 0 || factor >= 1 {
+				return fail(fmt.Errorf("bad straggler factor %q (want (0, 1))", fields[4]))
+			}
+			dur, err := strconv.ParseFloat(fields[5], 64)
+			if err != nil || dur <= 0 {
+				return fail(fmt.Errorf("bad duration %q", fields[5]))
+			}
+			out = append(out,
+				Event{Time: t, Kind: SlowStart, GPUType: gpuType, Node: node, Factor: factor},
+				Event{Time: t + dur, Kind: SlowEnd, GPUType: gpuType, Node: node})
+		default:
+			return fail(fmt.Errorf("unknown event kind %q", fields[1]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fault trace: %w", err)
+	}
+	out.Sort()
+	return out, nil
+}
+
+// LoadTrace reads a scripted failure trace from a file.
+func LoadTrace(path string) (Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := ParseTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

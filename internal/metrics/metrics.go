@@ -35,6 +35,23 @@ type Summary struct {
 
 	DeadlineSatisfied int
 	DeadlineTotal     int
+
+	// Fault-injection accounting (all zero on failure-free runs).
+
+	// GoodputGPUHours is GPU-time spent on work that survived: completed
+	// or durably checkpointed. WastedGPUHours is GPU-time destroyed by
+	// crashes — rolled-back windows plus everything a permanently failed
+	// job ever computed. Their sum is the total busy GPU-time, so the
+	// split directly measures what failure handling saves.
+	GoodputGPUHours float64
+	WastedGPUHours  float64
+	// RecomputeSeconds totals the productive time crash survivors must
+	// redo from their last checkpoint.
+	RecomputeSeconds float64
+
+	Preemptions int // crash evictions across all jobs
+	Restarts    int // checkpoint restarts consumed
+	Failed      int // jobs dead past their retry budget
 }
 
 // Finalize computes the aggregate fields from the raw series.

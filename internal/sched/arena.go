@@ -193,10 +193,55 @@ func (p *ArenaPolicy) Assign(ctx *Context) Assignment {
 		}
 	}
 
+	// --- Straggler-routing phase (fault-aware extension). ---
+	p.routeStragglers(ctx, free, &asg)
+
 	// --- Scale-up phase (InFlightHandler, lines 17–20). ---
 	depth = 0
 	p.scaleUp(ctx, free, target, &depth, &asg)
 	return asg
+}
+
+// routeStragglers migrates running jobs pinned to degraded nodes onto
+// healthy capacity of the same shape. A migration keeps the parallelism
+// plan (no new search) but pays checkpoint-resume, so it is taken only
+// under the same promising-job rule as scaling: the move must pay for
+// itself before the job would have finished at its degraded pace.
+func (p *ArenaPolicy) routeStragglers(ctx *Context, free map[string]int, asg *Assignment) {
+	const slowCut = 0.9 // ignore degradation the resume overhead would dwarf
+	running := append([]*Job(nil), ctx.Running...)
+	sort.SliceStable(running, func(a, b int) bool {
+		return running[a].Trace.ID < running[b].Trace.ID
+	})
+	for _, j := range running {
+		f := j.SlowFactor
+		if f <= 0 || f >= slowCut {
+			continue
+		}
+		if j.BusyUntil > ctx.Now {
+			continue // mid-reconfiguration; moving again would thrash
+		}
+		if _, placed := asg.Place[j.Trace.ID]; placed {
+			continue // this round already rescales it
+		}
+		cur := j.Alloc
+		// The move frees cur.N and takes cur.N elsewhere: require that
+		// much untouched free capacity of the type, on fully healthy
+		// nodes, so the migration cannot land back on the straggler.
+		if free[cur.GPUType] < cur.N || !ctx.Cluster.CanAllocHealthy(cur.GPUType, cur.N) {
+			continue
+		}
+		thr := p.PerceivedThr(ctx.DB, j.Workload(), cur.GPUType, cur.N)
+		if thr <= 0 {
+			continue
+		}
+		tStay := j.RemainingSamples / (thr * f)
+		tMove := j.RemainingSamples/thr + CheckpointResume
+		if tMove >= tStay {
+			continue
+		}
+		asg.Migrate = append(asg.Migrate, j.Trace.ID)
+	}
 }
 
 // promote raises the live priority of long-queued jobs (§3.5: "a job

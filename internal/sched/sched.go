@@ -41,6 +41,11 @@ const (
 	StateRunning  JobState = "running"
 	StateFinished JobState = "finished"
 	StateDropped  JobState = "dropped"
+	// StateFailed marks a job killed by fault injection: its retry budget
+	// is exhausted (or recovery is ablated away), so its progress is lost
+	// for good. Distinct from StateDropped, which is a deliberate
+	// deadline-admission decision.
+	StateFailed JobState = "failed"
 )
 
 // Job is the scheduler-facing job record.
@@ -67,6 +72,26 @@ type Job struct {
 
 	// CurPriority is the live priority (promotion lowers it over time).
 	CurPriority int
+
+	// Fault-model bookkeeping (populated only by fault-injected runs).
+
+	// Preemptions counts crash evictions suffered; Restarts counts the
+	// retry budget consumed; Migrations counts straggler-avoidance moves.
+	Preemptions int
+	Restarts    int
+	Migrations  int
+	// NextEligibleAt gates relaunch after a crash: exponential backoff
+	// keeps a flapping node from burning the retry budget in one storm.
+	NextEligibleAt float64
+	// CheckpointRemaining is RemainingSamples at the last durable
+	// checkpoint — where a crash rolls the job back to.
+	CheckpointRemaining float64
+	// Restarting marks that the next launch is a checkpoint restore and
+	// must pay the resume overhead on top of the deployment search.
+	Restarting bool
+	// SlowFactor is the straggler degradation of the current allocation
+	// (multiplies achieved throughput; 0 or 1 = healthy).
+	SlowFactor float64
 }
 
 // Workload is shorthand for the job's (model, batch) pair.
@@ -95,6 +120,11 @@ type Assignment struct {
 	Place map[string]Alloc
 	// Drop lists jobs abandoned as unable to meet their deadline (§5.6).
 	Drop []string
+	// Migrate lists running jobs to move to a fresh allocation of the
+	// *same* shape, paying checkpoint-resume but no new parallelism
+	// search — the straggler-routing escape hatch. Ignored for ids that
+	// also appear in Place.
+	Migrate []string
 }
 
 // NewAssignment returns an empty assignment.

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math"
+
+	"github.com/sjtu-epcc/arena/internal/faults"
+	"github.com/sjtu-epcc/arena/internal/sched"
+)
+
+// applyFault mutates the world for one fault event. Called from
+// advanceTo at the event's exact time: progress up to the instant has
+// already been applied, so a crash destroys exactly the since-checkpoint
+// window and nothing more.
+func (s *state) applyFault(ev faults.Event) {
+	switch ev.Kind {
+	case faults.Crash:
+		victims := s.cluster.FailNode(ev.GPUType, ev.Node)
+		for _, id := range victims {
+			for _, j := range s.running {
+				if j.Trace.ID == id {
+					s.preempt(ev.Time, j)
+					break
+				}
+			}
+		}
+	case faults.Recover:
+		s.cluster.RecoverNode(ev.GPUType, ev.Node)
+	case faults.SlowStart:
+		s.cluster.SetSlow(ev.GPUType, ev.Node, ev.Factor)
+		s.refreshSlowFactors()
+	case faults.SlowEnd:
+		s.cluster.ClearSlow(ev.GPUType, ev.Node)
+		s.refreshSlowFactors()
+	}
+}
+
+// refreshSlowFactors recomputes every running job's straggler factor
+// from the cluster's node state (an episode may start or end under a
+// live allocation).
+func (s *state) refreshSlowFactors() {
+	for _, j := range s.running {
+		j.SlowFactor = s.cluster.SlowFactor(j.Trace.ID)
+	}
+}
+
+// preempt evicts a running job whose node died. Progress rolls back to
+// the last durable checkpoint — the since-checkpoint window moves from
+// goodput to waste and must be recomputed. Within its retry budget the
+// job requeues behind an exponential backoff and will relaunch as a
+// checkpoint restore; past it (or under the recovery-disabled ablation)
+// it fails and every retained GPU-hour it ever earned becomes waste.
+func (s *state) preempt(t float64, j *sched.Job) {
+	s.cluster.Free(j.Trace.ID)
+	s.running = removeJob(s.running, j)
+	ac := s.acctFor(j)
+	s.goodputGPUSec -= ac.sinceCkptGPUSec
+	s.wastedGPUSec += ac.sinceCkptGPUSec
+	ac.retainedGPUSec -= ac.sinceCkptGPUSec
+	lostSec := ac.sinceCkptSec
+	ac.sinceCkptSec, ac.sinceCkptGPUSec = 0, 0
+	j.RemainingSamples = j.CheckpointRemaining
+	j.Preemptions++
+	j.Alloc = sched.Alloc{}
+	j.ActualThr = 0
+	j.SlowFactor = 0
+	j.BusyUntil = 0
+
+	fc := s.faults
+	if fc.DisableRecovery || j.Restarts >= fc.RetryBudget {
+		// Dead for good: nothing it computed will ever be used.
+		s.goodputGPUSec -= ac.retainedGPUSec
+		s.wastedGPUSec += ac.retainedGPUSec
+		ac.retainedGPUSec = 0
+		j.State = sched.StateFailed
+		j.FinishedAt = t
+		s.done_ = append(s.done_, j)
+		return
+	}
+	s.recomputeSec += lostSec
+	j.Restarts++
+	j.NextEligibleAt = t + fc.BackoffBase*math.Pow(2, float64(j.Restarts-1))
+	j.Restarting = true
+	j.State = sched.StateQueued
+	s.queued = append(s.queued, j)
+}

@@ -19,6 +19,7 @@ import (
 
 	"github.com/sjtu-epcc/arena/internal/cluster"
 	"github.com/sjtu-epcc/arena/internal/core"
+	"github.com/sjtu-epcc/arena/internal/faults"
 	"github.com/sjtu-epcc/arena/internal/hw"
 	"github.com/sjtu-epcc/arena/internal/metrics"
 	"github.com/sjtu-epcc/arena/internal/perfdb"
@@ -50,6 +51,13 @@ type Config struct {
 	// IncludeUnfinished censors unfinished jobs' JCT at the horizon and
 	// includes them (Fig. 12's "unfinished jobs included").
 	IncludeUnfinished bool
+
+	// Faults enables deterministic fault injection: crashes preempt the
+	// jobs on the dead node and roll them back to their last modeled
+	// checkpoint, stragglers degrade achieved throughput, and the Summary
+	// gains goodput/wasted accounting. Nil (or a disabled config) keeps
+	// the failure-free simulation bit-identical to the pre-fault model.
+	Faults *faults.Config
 
 	// Progress, when non-nil, receives one "sim.round" event per
 	// scheduling round (called from the simulation loop, single-threaded).
@@ -98,6 +106,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		cfg:     cfg,
 		cluster: cl,
 		noise:   rng.Derive(cfg.Seed, rng.HashString("sim-noise")),
+		acct:    map[*sched.Job]*jobAcct{},
 	}
 	for _, tj := range cfg.Jobs {
 		w := tj.Workload
@@ -127,6 +136,23 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		maxRounds = int((last*3+48*3600)/cfg.RoundSeconds) + 1
 	}
 
+	if cfg.Faults.Enabled() {
+		fc := cfg.Faults.WithDefaults()
+		s.faults = &fc
+		// Materialize the whole fault realization up front: a pure
+		// function of (seed, cluster shape, horizon), untouched by
+		// scheduling decisions.
+		horizon := float64(maxRounds+1) * cfg.RoundSeconds
+		if err := fc.Trace.Validate(cfg.Spec); err != nil {
+			return nil, err
+		}
+		s.events = append(s.events, fc.Trace...)
+		if fc.Model != nil {
+			s.events = append(s.events, fc.Model.Schedule(cfg.Spec, cfg.Seed, horizon)...)
+		}
+		s.events.Sort()
+	}
+
 	now := 0.0
 	for round := 0; round < maxRounds; round++ {
 		if err := ctx.Err(); err != nil {
@@ -136,12 +162,24 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		s.advanceTo(now)
 		s.admit(now)
 
+		// Crash-restart backoff gates relaunch uniformly across policies:
+		// a job still backing off is invisible this round.
+		eligible := s.queued
+		if s.faults != nil {
+			eligible = make([]*sched.Job, 0, len(s.queued))
+			for _, j := range s.queued {
+				if j.NextEligibleAt <= now {
+					eligible = append(eligible, j)
+				}
+			}
+		}
+
 		// Named rctx, not ctx: shadowing the context.Context parameter
 		// here once hid a cancellation bug (the vet shadow check in CI
 		// now rejects the pattern).
 		rctx := &sched.Context{
 			Now:       now,
-			Queued:    s.queued,
+			Queued:    eligible,
 			Running:   s.running,
 			Cluster:   s.cluster,
 			DB:        cfg.DB,
@@ -174,22 +212,62 @@ type state struct {
 
 	thrSeries []float64
 	lastTime  float64
+
+	// Fault injection (nil faults = disabled; see internal/faults).
+	faults *faults.Config
+	events faults.Schedule // materialized realization, time-ordered
+	evIdx  int             // next unapplied event
+
+	// Goodput accounting. acct is keyed by job pointer and only ever
+	// read through a specific job — never iterated — so map order cannot
+	// leak into results.
+	acct          map[*sched.Job]*jobAcct
+	goodputGPUSec float64
+	wastedGPUSec  float64
+	recomputeSec  float64
+}
+
+// jobAcct tracks one job's progress relative to its last durable
+// checkpoint: the window a crash destroys, and the job's total retained
+// (checkpointed or completed) GPU-time.
+type jobAcct struct {
+	sinceCkptSec    float64 // productive seconds since the last checkpoint
+	sinceCkptGPUSec float64 // GPU-seconds accumulated in that window
+	retainedGPUSec  float64 // all GPU-seconds currently counted as goodput
+}
+
+// acctFor returns (creating on first use) a job's accounting record.
+func (s *state) acctFor(j *sched.Job) *jobAcct {
+	ac, ok := s.acct[j]
+	if !ok {
+		ac = &jobAcct{}
+		s.acct[j] = ac
+	}
+	return ac
 }
 
 // advanceTo progresses running jobs from lastTime to t, finishing jobs at
-// their exact completion times.
+// their exact completion times and applying fault events at theirs. Fault
+// events bound each continuous segment, so a crash preempts exactly the
+// progress made up to the crash instant — completions at the same instant
+// win (kindRank orders crashes last for the same reason).
 func (s *state) advanceTo(t float64) {
+	s.fireFaultsThrough(s.lastTime)
 	for s.lastTime < t {
-		// Earliest completion in (lastTime, t]?
+		bound := t
+		if next := s.nextFaultTime(); next < bound {
+			bound = next
+		}
+		// Earliest completion in (lastTime, bound]?
 		var next *sched.Job
-		nextAt := t
+		nextAt := bound
 		for _, j := range s.running {
 			thr := s.effectiveThr(j)
 			if thr <= 0 {
 				continue
 			}
 			start := math.Max(s.lastTime, j.BusyUntil)
-			if start >= t {
+			if start >= bound {
 				continue
 			}
 			finish := start + j.RemainingSamples/thr
@@ -199,10 +277,28 @@ func (s *state) advanceTo(t float64) {
 		}
 		s.progressAll(s.lastTime, nextAt)
 		s.lastTime = nextAt
-		if next == nil {
-			return
+		if next != nil {
+			s.complete(next, nextAt)
+			continue
 		}
-		s.complete(next, nextAt)
+		s.fireFaultsThrough(s.lastTime)
+	}
+	s.fireFaultsThrough(t)
+}
+
+// nextFaultTime peeks the next unapplied fault event's time.
+func (s *state) nextFaultTime() float64 {
+	if s.evIdx < len(s.events) {
+		return s.events[s.evIdx].Time
+	}
+	return math.Inf(1)
+}
+
+// fireFaultsThrough applies every fault event with Time <= t.
+func (s *state) fireFaultsThrough(t float64) {
+	for s.evIdx < len(s.events) && s.events[s.evIdx].Time <= t {
+		s.applyFault(s.events[s.evIdx])
+		s.evIdx++
 	}
 }
 
@@ -217,19 +313,55 @@ func (s *state) progressAll(a, b float64) {
 		if start >= b {
 			continue
 		}
-		j.RemainingSamples -= (b - start) * thr
-		if j.RemainingSamples < 0 {
-			j.RemainingSamples = 0
-		}
+		s.progressJob(j, start, b, thr)
 	}
 }
 
-// effectiveThr is the job's achieved throughput including the fidelity
-// noise knob.
+// progressJob advances one job over [start, b) at throughput thr,
+// crossing checkpoint boundaries. The checkpoint clock ticks on
+// *productive* time: every CheckpointInterval seconds of actual training
+// the job durably saves, and a later crash rolls back only to that point.
+// Without fault injection the interval splitting is skipped, keeping the
+// single-subtraction arithmetic (and so the trajectory) bit-identical to
+// the failure-free model.
+func (s *state) progressJob(j *sched.Job, start, b, thr float64) {
+	n := float64(j.Alloc.N)
+	ac := s.acctFor(j)
+	dt := b - start
+	if s.faults != nil && s.faults.CheckpointInterval > 0 {
+		ci := s.faults.CheckpointInterval
+		for ac.sinceCkptSec+dt >= ci {
+			step := ci - ac.sinceCkptSec
+			j.RemainingSamples -= step * thr
+			if j.RemainingSamples < 0 {
+				j.RemainingSamples = 0
+			}
+			s.goodputGPUSec += step * n
+			ac.retainedGPUSec += step * n
+			j.CheckpointRemaining = j.RemainingSamples
+			ac.sinceCkptSec, ac.sinceCkptGPUSec = 0, 0
+			dt -= step
+		}
+	}
+	j.RemainingSamples -= dt * thr
+	if j.RemainingSamples < 0 {
+		j.RemainingSamples = 0
+	}
+	s.goodputGPUSec += dt * n
+	ac.retainedGPUSec += dt * n
+	ac.sinceCkptSec += dt
+	ac.sinceCkptGPUSec += dt * n
+}
+
+// effectiveThr is the job's achieved throughput including straggler
+// degradation and the fidelity noise knob.
 func (s *state) effectiveThr(j *sched.Job) float64 {
 	thr := j.ActualThr
 	if thr <= 0 {
 		return 0
+	}
+	if f := j.SlowFactor; f > 0 && f < 1 {
+		thr *= f
 	}
 	if s.cfg.ThroughputNoise > 0 {
 		r := rng.Derive(s.cfg.Seed, rng.HashString(j.Trace.ID), uint64(j.Resched))
@@ -268,6 +400,18 @@ func (s *state) apply(now float64, asg sched.Assignment) {
 			j.FinishedAt = now
 			s.queued = removeJob(s.queued, j)
 			s.done_ = append(s.done_, j)
+		}
+	}
+	if len(asg.Migrate) > 0 {
+		migrate := append([]string(nil), asg.Migrate...)
+		sort.Strings(migrate)
+		for _, id := range migrate {
+			if _, placed := asg.Place[id]; placed {
+				continue // a rescale supersedes the migration
+			}
+			if j := s.findAny(id); j != nil && j.Running() {
+				s.migrate(now, j)
+			}
 		}
 	}
 	if len(asg.Place) == 0 {
@@ -331,11 +475,50 @@ func (s *state) launch(now float64, j *sched.Job, target sched.Alloc) {
 	j.Alloc = target
 	j.ActualThr = actual
 	j.BusyUntil = now + s.cfg.Policy.DeployOverhead(s.cfg.DB, w, target.GPUType, target.N)
+	if j.Restarting {
+		// Crash-restart: restoring the checkpoint stalls the job on top
+		// of the deployment search.
+		j.BusyUntil += sched.CheckpointResume
+		j.Restarting = false
+	}
+	j.SlowFactor = s.cluster.SlowFactor(j.Trace.ID)
+	// A (re)launch starts a fresh checkpoint epoch from the restored state.
+	j.CheckpointRemaining = j.RemainingSamples
+	ac := s.acctFor(j)
+	ac.sinceCkptSec, ac.sinceCkptGPUSec = 0, 0
 	if j.LaunchedAt < 0 {
 		j.LaunchedAt = now
 	}
 	s.queued = removeJob(s.queued, j)
 	s.running = append(s.running, j)
+}
+
+// migrate moves a running job to a fresh allocation of the same shape
+// (straggler routing): the parallelism plan survives, so only checkpoint-
+// resume is charged, no new search. Free-then-realloc with the cluster's
+// healthy-first placement is what routes it off the degraded node.
+func (s *state) migrate(now float64, j *sched.Job) {
+	old := j.Alloc
+	s.cluster.Free(j.Trace.ID)
+	if err := s.cluster.Alloc(j.Trace.ID, old.GPUType, old.N); err != nil {
+		// The freed block must refit (nothing else allocates in between);
+		// requeue defensively if it somehow cannot.
+		j.State = sched.StateQueued
+		j.Alloc = sched.Alloc{}
+		j.ActualThr = 0
+		j.SlowFactor = 0
+		s.running = removeJob(s.running, j)
+		s.queued = append(s.queued, j)
+		return
+	}
+	j.SlowFactor = s.cluster.SlowFactor(j.Trace.ID)
+	j.Migrations++
+	j.Resched++
+	j.BusyUntil = math.Max(now, j.BusyUntil) + sched.CheckpointResume
+	// Migration checkpoints the job: progress so far is durable.
+	j.CheckpointRemaining = j.RemainingSamples
+	ac := s.acctFor(j)
+	ac.sinceCkptSec, ac.sinceCkptGPUSec = 0, 0
 }
 
 // rescale moves a running job to a new allocation, paying checkpoint-
@@ -364,11 +547,18 @@ func (s *state) rescale(now float64, j *sched.Job, target sched.Alloc) {
 	j.Alloc = target
 	j.ActualThr = actual
 	j.Resched++
+	j.SlowFactor = s.cluster.SlowFactor(j.Trace.ID)
 	// §5.8: the rescheduling AP search is non-blocking (the runtime
 	// searches while the job drains); only checkpoint-resume stops
-	// training, plus a small blocking tail of the search.
-	j.BusyUntil = now + sched.CheckpointResume +
+	// training, plus a small blocking tail of the search. A job still
+	// reconfiguring stacks the new stall after the old one — charging
+	// from `now` let overlapping reconfigurations swallow each other.
+	j.BusyUntil = math.Max(now, j.BusyUntil) + sched.CheckpointResume +
 		0.2*s.cfg.Policy.DeployOverhead(s.cfg.DB, w, target.GPUType, target.N)
+	// Checkpoint-resume implies a durable save of progress so far.
+	j.CheckpointRemaining = j.RemainingSamples
+	ac := s.acctFor(j)
+	ac.sinceCkptSec, ac.sinceCkptGPUSec = 0, 0
 }
 
 // sampleThroughput records the instantaneous cluster throughput.
@@ -376,7 +566,11 @@ func (s *state) sampleThroughput(now float64) {
 	var total float64
 	for _, j := range s.running {
 		if j.BusyUntil <= now {
-			total += j.ActualThr
+			thr := j.ActualThr
+			if f := j.SlowFactor; f > 0 && f < 1 {
+				thr *= f
+			}
+			total += thr
 		}
 	}
 	s.thrSeries = append(s.thrSeries, total)
@@ -435,6 +629,11 @@ func (s *state) finish(end float64) *Result {
 			if j.Trace.Deadline > 0 {
 				sum.DeadlineTotal++
 			}
+		case sched.StateFailed:
+			sum.Failed++
+			if j.Trace.Deadline > 0 {
+				sum.DeadlineTotal++
+			}
 		default: // censored
 			sum.JCTs = append(sum.JCTs, end-j.Trace.SubmitTime)
 		}
@@ -447,11 +646,18 @@ func (s *state) finish(end float64) *Result {
 	if launched > 0 {
 		sum.AvgReschedules = resched / launched
 	}
-	sum.Finalize()
 	jobs := append([]*sched.Job(nil), s.done_...)
 	jobs = append(jobs, s.running...)
 	jobs = append(jobs, s.queued...)
 	jobs = append(jobs, s.pending...)
+	sum.GoodputGPUHours = s.goodputGPUSec / 3600
+	sum.WastedGPUHours = s.wastedGPUSec / 3600
+	sum.RecomputeSeconds = s.recomputeSec
+	for _, j := range jobs {
+		sum.Preemptions += j.Preemptions
+		sum.Restarts += j.Restarts
+	}
+	sum.Finalize()
 	return &Result{Summary: sum, Jobs: jobs, Horizon: end}
 }
 

@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 )
 
 // Version is the store schema version; bump on incompatible envelope or
@@ -237,25 +239,96 @@ func payloadSum(payload []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// writeAttempts bounds writeAtomic's retry loop; transient I/O errors
+// (interrupted syscalls, momentary descriptor exhaustion) back off and
+// retry, anything else fails immediately.
+const writeAttempts = 3
+
+// beforeRename, when non-nil, runs between the temp file's durable write
+// and its rename — the crash window. Tests inject failures here to prove
+// a process dying at the worst moment leaves the previous object intact
+// under the final name.
+var beforeRename func(path string) error
+
 // writeAtomic writes data to path via a temp file + rename in the same
 // directory, so concurrent writers and crashed processes can never leave a
-// partial file under the final name.
+// partial file under the final name. The temp file is fsynced before the
+// rename — otherwise a machine crash could rename a name onto contents
+// still in the page cache, replacing a good object with a hole — and the
+// directory is fsynced after, so the rename itself is durable. Transient
+// I/O errors are retried with a short exponential backoff.
 func writeAtomic(path string, data []byte) error {
+	var err error
+	delay := 2 * time.Millisecond
+	for attempt := 0; attempt < writeAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		err = writeAtomicOnce(path, data)
+		if err == nil || !transientIO(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// writeAtomicOnce is one write-fsync-rename attempt.
+func writeAtomicOnce(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".store-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if beforeRename != nil {
+		if err := beforeRename(path); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir makes a completed rename durable by fsyncing its directory.
+// Best-effort: not every platform or filesystem supports directory sync,
+// and the rename's atomicity does not depend on it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	_ = d.Sync()
+}
+
+// transientIO classifies errors worth retrying: interrupted syscalls and
+// momentary resource exhaustion clear on their own; corrupt input or
+// permission failures never do.
+func transientIO(err error) bool {
+	return errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.EMFILE)
 }
 
 // mustJSON marshals a value whose encoding cannot fail (static structs).

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"testing"
 )
 
@@ -255,5 +256,111 @@ func TestList(t *testing.T) {
 	}
 	if len(keys) != 2 {
 		t.Fatalf("want 2 keys, got %v", keys)
+	}
+}
+
+// TestCrashBetweenWriteAndRename kills a Put in the crash window — temp
+// file durably written, rename not yet executed — and proves the previous
+// object under the final name survives uncorrupted, the failure surfaces
+// as a typed *Error (not silent loss), and no temp debris is left behind.
+func TestCrashBetweenWriteAndRename(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey("d", "crash")
+	if err := s.Put("d", k, payload{Name: "old", Vals: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	crash := errors.New("simulated crash")
+	beforeRename = func(string) error { return crash }
+	defer func() { beforeRename = nil }()
+
+	err = s.Put("d", k, payload{Name: "new"})
+	var se *Error
+	if !errors.As(err, &se) || !errors.Is(err, crash) {
+		t.Fatalf("crashed Put must return a typed *Error wrapping the cause, got %v", err)
+	}
+
+	var out payload
+	if err := s.Get("d", k, &out); err != nil {
+		t.Fatalf("old object must survive the crash, got %v", err)
+	}
+	if out.Name != "old" || len(out.Vals) != 1 || out.Vals[0] != 1 {
+		t.Fatalf("old object corrupted: %+v", out)
+	}
+	entries, err := os.ReadDir(filepath.Join(s.Dir(), "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			t.Fatalf("crash left temp debris: %s", e.Name())
+		}
+	}
+}
+
+// TestOrphanTempFileIgnored plants a half-written temp file (what a real
+// crash leaves) and checks reads and listings never surface it.
+func TestOrphanTempFileIgnored(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey("d", "x")
+	if err := s.Put("d", k, payload{Name: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(s.Dir(), "d", ".store-12345")
+	if err := os.WriteFile(orphan, []byte(`{"version":1,"key":"trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.List("d")
+	if err != nil || len(keys) != 1 || keys[0] != k {
+		t.Fatalf("orphan temp file leaked into listing: %v, %v", keys, err)
+	}
+	var out payload
+	if err := s.Get("d", k, &out); err != nil || out.Name != "good" {
+		t.Fatalf("orphan temp file disturbed reads: %+v, %v", out, err)
+	}
+}
+
+// TestTransientWriteRetry fails the first rename window with a transient
+// error (EINTR) and checks the Put succeeds on retry; a persistent
+// transient error exhausts the attempts and surfaces.
+func TestTransientWriteRetry(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey("d", "retry")
+	calls := 0
+	beforeRename = func(string) error {
+		calls++
+		if calls == 1 {
+			return fmt.Errorf("flaky disk: %w", syscall.EINTR)
+		}
+		return nil
+	}
+	defer func() { beforeRename = nil }()
+	if err := s.Put("d", k, payload{Name: "v"}); err != nil {
+		t.Fatalf("transient failure must be retried, got %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("want 1 retry (2 attempts), got %d attempts", calls)
+	}
+
+	calls = 0
+	beforeRename = func(string) error {
+		calls++
+		return fmt.Errorf("flaky disk: %w", syscall.EINTR)
+	}
+	err = s.Put("d", NewKey("d", "retry2"), payload{})
+	if !errors.Is(err, syscall.EINTR) {
+		t.Fatalf("exhausted retries must surface the cause, got %v", err)
+	}
+	if calls != writeAttempts {
+		t.Fatalf("want %d attempts, got %d", writeAttempts, calls)
 	}
 }

@@ -22,6 +22,7 @@ type sessionConfig struct {
 	snapshot  string
 	storeDir  string
 	progress  ProgressFunc
+	faults    *FaultsConfig
 }
 
 // defaultSessionConfig matches the paper's defaults: seed 42, every
@@ -156,6 +157,20 @@ func WithEvalCache(c *EvalCache) Option {
 func WithPerfDBSnapshot(path string) Option {
 	return func(c *sessionConfig) error {
 		c.snapshot = path
+		return nil
+	}
+}
+
+// WithFaults enables deterministic fault injection in the session's
+// simulations: crashes preempt jobs on dead nodes and roll them back to
+// their last modeled checkpoint, stragglers degrade throughput, and the
+// Summary gains goodput/waste accounting. The realization is drawn from
+// the session seed, so runs stay bit-identical. A Simulate call whose
+// SimConfig sets its own Faults field overrides this default; the zero
+// FaultsConfig here disables injection again.
+func WithFaults(fc FaultsConfig) Option {
+	return func(c *sessionConfig) error {
+		c.faults = &fc
 		return nil
 	}
 }

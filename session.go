@@ -483,7 +483,8 @@ func (s *Session) PerfDBFromSnapshot() bool {
 // Simulate runs the discrete-event cluster simulation. Config fields the
 // caller leaves zero are filled from the session: a nil DB uses
 // BuildPerfDB (tolerating snapshot persistence failures), an empty Spec
-// uses the WithCluster spec, and a nil Progress uses the session stream.
+// uses the WithCluster spec, a nil Faults uses the WithFaults config, and
+// a nil Progress uses the session stream.
 func (s *Session) Simulate(ctx context.Context, cfg SimConfig) (*SimResult, error) {
 	if cfg.DB == nil {
 		db, err := s.BuildPerfDB(ctx)
@@ -494,6 +495,9 @@ func (s *Session) Simulate(ctx context.Context, cfg SimConfig) (*SimResult, erro
 	}
 	if len(cfg.Spec.Regions) == 0 && s.cfg.cluster != nil {
 		cfg.Spec = *s.cfg.cluster
+	}
+	if cfg.Faults == nil && s.cfg.faults != nil {
+		cfg.Faults = s.cfg.faults
 	}
 	if cfg.Progress == nil {
 		cfg.Progress = s.progress()

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	arena "github.com/sjtu-epcc/arena"
+	"github.com/sjtu-epcc/arena/internal/clock"
 	"github.com/sjtu-epcc/arena/internal/core"
 	"github.com/sjtu-epcc/arena/internal/evalcache"
 	"github.com/sjtu-epcc/arena/internal/experiments"
@@ -26,7 +27,9 @@ import (
 	"github.com/sjtu-epcc/arena/internal/profiler"
 	"github.com/sjtu-epcc/arena/internal/sched"
 	"github.com/sjtu-epcc/arena/internal/search"
+	"github.com/sjtu-epcc/arena/internal/server"
 	"github.com/sjtu-epcc/arena/internal/sim"
+	"github.com/sjtu-epcc/arena/internal/store"
 	"github.com/sjtu-epcc/arena/internal/trace"
 )
 
@@ -340,6 +343,67 @@ func BenchmarkSimRunFaults(b *testing.B) {
 			}
 			if res == nil {
 				b.Fatal("nil simulation result")
+			}
+		}
+	})
+}
+
+// BenchmarkServerScheduleRound guards the daemon's hot path: one
+// journaled scheduling round — inbox drain, policy Assign over the full
+// backlog, in-memory commit, digest, fsynced journal append — with
+// 10,000 jobs pending on Cluster A. Iteration counts are inflated so no
+// job finishes inside the timed rounds and every round sees the whole
+// backlog; the 10k submits (one journal record each) happen before the
+// timer starts.
+func BenchmarkServerScheduleRound(b *testing.B) {
+	simBenchSetup()
+	if simBenchErr != nil {
+		b.Fatal(simBenchErr)
+	}
+	jobs, err := trace.Generate(trace.Config{
+		Kind: trace.Philly, Duration: 3 * 3600, NumJobs: 10000, Seed: 7,
+		GPUTypes: []string{"A40", "A10"}, MaxGPUs: 16,
+		Workloads: []model.Workload{
+			{Model: "WRes-1B", GlobalBatch: 256},
+			{Model: "GPT-1.3B", GlobalBatch: 128},
+			{Model: "GPT-2.6B", GlobalBatch: 128},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("10k", func(b *testing.B) {
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := server.New(server.Config{
+			Spec: hw.ClusterA(), Policy: sched.NewArena(), DB: simBenchDB,
+			RoundSeconds: 300, Seed: 1,
+			Store: st, Clock: clock.NewVirtual(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}()
+		for _, j := range jobs {
+			j.SubmitTime = 0   // the whole trace is backlog at round 0
+			j.Iterations = 1e9 // nothing finishes inside the timed rounds
+			if _, err := srv.Submit(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Step(); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

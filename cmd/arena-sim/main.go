@@ -79,7 +79,7 @@ func main() {
 		cli.Fatal(err)
 	}
 
-	pols, err := pickPolicies(*policyName)
+	pols, err := cli.PickPolicies(*policyName)
 	if err != nil {
 		cli.Fatal(err)
 	}
@@ -144,28 +144,6 @@ func faultConfig(mtbfH, mttrH, slowH float64, tracePath string, ckptEvery float6
 		return nil, nil
 	}
 	return fc, nil
-}
-
-func pickPolicies(name string) ([]arena.Policy, error) {
-	switch name {
-	case "fcfs":
-		return []arena.Policy{arena.NewFCFS()}, nil
-	case "gavel":
-		return []arena.Policy{arena.NewGavel()}, nil
-	case "elasticflow":
-		return []arena.Policy{arena.NewElasticFlow()}, nil
-	case "sia":
-		return []arena.Policy{arena.NewSia()}, nil
-	case "arena":
-		return []arena.Policy{arena.NewArenaPolicy()}, nil
-	case "all":
-		return []arena.Policy{
-			arena.NewFCFS(), arena.NewGavel(), arena.NewElasticFlow(),
-			arena.NewSia(), arena.NewArenaPolicy(),
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
 }
 
 func pick(v, def int) int {

@@ -89,13 +89,18 @@ func (c *Common) SessionOptions() []arena.Option {
 // NewSession constructs the tool's session from the given options plus
 // the persistence flags. A store written by an incompatible schema
 // version is warned about and skipped — the tool runs without persistence
-// rather than aborting, since the store is only a cache.
+// rather than aborting, since the store is only a cache. A store held by
+// another process is different: silently proceeding without it would look
+// like a cold run, so the tool fails fast and names the conflict.
 func NewSession(c *Common, opts ...arena.Option) *arena.Session {
 	full := append(append([]arena.Option(nil), opts...), c.SessionOptions()...)
 	sess, err := arena.New(full...)
 	if err != nil && c.Store != "" && errors.Is(err, store.ErrSchema) {
 		fmt.Fprintf(os.Stderr, "%s: warning: %v (continuing without the store)\n", Tool(), err)
 		sess, err = arena.New(opts...)
+	}
+	if err != nil && c.Store != "" && errors.Is(err, store.ErrLocked) {
+		Fatal(fmt.Errorf("%w; another arena process (an arena-server?) holds -store %s — stop it or point this tool elsewhere", err, c.Store))
 	}
 	if err != nil {
 		Fatal(err)
@@ -181,11 +186,15 @@ func BuildDB(ctx context.Context, sess *arena.Session) (*perfdb.DB, string) {
 	}
 }
 
-// Context returns the tool's root context, cancelled on SIGINT/SIGTERM so
-// a ^C aborts in-flight database builds and searches promptly instead of
-// killing the process mid-write. After the first signal the registration
-// is dropped, so a second ^C terminates the process the default way even
-// if some code path ignores the cancellation.
+// Context returns the tool's root context, cancelled on SIGINT/SIGTERM —
+// the one signal-handling path every arena process shares. For the batch
+// tools a ^C aborts in-flight database builds and searches promptly
+// instead of killing the process mid-write; for arena-server a SIGTERM
+// is the graceful-shutdown request: the round loop observes cancellation
+// between rounds, drains the in-flight round, and flushes the journal.
+// After the first signal the registration is dropped, so a second ^C (or
+// a supervisor's escalation to a repeat SIGTERM) terminates the process
+// the default way even if some code path ignores the cancellation.
 func Context() context.Context {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -193,6 +202,43 @@ func Context() context.Context {
 		stop()
 	}()
 	return ctx
+}
+
+// PickPolicies resolves the -policy flag spelling shared by the tools:
+// one scheduler by name, or "all" for the paper's five in §5.1 order.
+func PickPolicies(name string) ([]arena.Policy, error) {
+	switch name {
+	case "fcfs":
+		return []arena.Policy{arena.NewFCFS()}, nil
+	case "gavel":
+		return []arena.Policy{arena.NewGavel()}, nil
+	case "elasticflow":
+		return []arena.Policy{arena.NewElasticFlow()}, nil
+	case "sia":
+		return []arena.Policy{arena.NewSia()}, nil
+	case "arena":
+		return []arena.Policy{arena.NewArenaPolicy()}, nil
+	case "all":
+		return []arena.Policy{
+			arena.NewFCFS(), arena.NewGavel(), arena.NewElasticFlow(),
+			arena.NewSia(), arena.NewArenaPolicy(),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// PickPolicy is PickPolicies for tools that run exactly one scheduler
+// (arena-server schedules one queue; "all" makes no sense there).
+func PickPolicy(name string) (arena.Policy, error) {
+	if name == "all" {
+		return nil, fmt.Errorf("pick one policy (fcfs|gavel|elasticflow|sia|arena)")
+	}
+	pols, err := PickPolicies(name)
+	if err != nil {
+		return nil, err
+	}
+	return pols[0], nil
 }
 
 // PickCluster resolves the -cluster flag spelling shared by the tools.

@@ -14,8 +14,18 @@
 // .github/workflows/ci.yml), and inside `go test ./...` via its own
 // package test, which sweeps the whole repository.
 //
+// It also enforces the repository's clock discipline: scheduling code
+// (non-test files under internal/sched, internal/sim and internal/
+// server) must never read time directly — time.Now, time.Sleep and
+// friends are banned there, so every instant flows through the
+// internal/clock interface and a journaled server run replays
+// bit-identically on a virtual clock. Test files are exempt (tests
+// legitimately sleep waiting for goroutines), as is the rest of the
+// tree (internal/clock itself wraps the real clock; internal/store
+// backs off with real sleeps).
+//
 // Usage: go run ./internal/shadowcheck <dir>...
-// Exit status 1 means at least one shadow was found.
+// Exit status 1 means at least one violation was found.
 package main
 
 import (
@@ -110,7 +120,72 @@ func checkFile(path string) ([]string, error) {
 		}
 		walkBody(fn.Body, names, report)
 	}
+	if clockBanned(path) {
+		diags = append(diags, checkClock(fset, f)...)
+	}
 	return diags, nil
+}
+
+// bannedTimeFuncs are the package-time entry points that read or wait on
+// the real clock. Types and constants (time.Duration, time.Second) stay
+// legal — the ban is on acquiring instants, not on describing durations.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// clockBanned reports whether a file lives in the clock-disciplined
+// zone: scheduling logic whose every instant must come from
+// internal/clock so journaled runs replay bit-identically.
+func clockBanned(path string) bool {
+	p := filepath.ToSlash(path)
+	if strings.HasSuffix(p, "_test.go") {
+		return false
+	}
+	for _, zone := range []string{"internal/sched/", "internal/sim/", "internal/server/"} {
+		if strings.Contains(p, zone) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkClock flags direct real-clock reads in a clock-disciplined file.
+// Matching is syntactic, like the rest of this tool: any selector on the
+// file's `time` import hitting a banned name. A local variable named
+// `time` could in principle false-positive; this tree never writes one.
+func checkClock(fset *token.FileSet, f *ast.File) []string {
+	timeNames := map[string]bool{}
+	for _, imp := range f.Imports {
+		if imp.Path.Value != `"time"` {
+			continue
+		}
+		name := "time"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." {
+			continue
+		}
+		timeNames[name] = true
+	}
+	if len(timeNames) == 0 {
+		return nil
+	}
+	var diags []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && timeNames[id.Name] && bannedTimeFuncs[sel.Sel.Name] {
+			p := fset.Position(sel.Pos())
+			diags = append(diags, fmt.Sprintf("%s: %s.%s in scheduling code: take time from internal/clock so journaled runs replay deterministically", p, id.Name, sel.Sel.Name))
+		}
+		return true
+	})
+	return diags
 }
 
 // ctxParams returns the names of a function's context.Context-typed

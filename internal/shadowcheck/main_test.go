@@ -147,6 +147,71 @@ func run(n int) {
 	}
 }
 
+// checkAt parses one synthetic source placed at a repo-relative path, so
+// path-scoped checks (the clock-discipline ban) see the zone they key on.
+func checkAt(t *testing.T, rel, src string) []string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+const clockOffender = `package p
+import "time"
+func round() float64 { time.Sleep(time.Second); return time.Since(time.Now()).Seconds() }`
+
+func TestClockBanInSchedulingCode(t *testing.T) {
+	for _, rel := range []string{
+		"internal/sched/x.go", "internal/sim/x.go", "internal/server/x.go",
+	} {
+		diags := checkAt(t, rel, clockOffender)
+		if len(diags) != 3 { // Sleep, Since, Now; time.Second stays legal
+			t.Fatalf("%s: want 3 diagnostics (Sleep, Since, Now), got %v", rel, diags)
+		}
+	}
+}
+
+func TestClockBanSkipsTestsAndOtherPackages(t *testing.T) {
+	for _, rel := range []string{
+		"internal/sim/x_test.go",   // tests may sleep
+		"internal/clock/clock.go",  // the one real-clock wrapper
+		"internal/store/store.go",  // retry backoff is not scheduling
+		"cmd/arena-server/main.go", // process plumbing
+	} {
+		if diags := checkAt(t, rel, clockOffender); len(diags) != 0 {
+			t.Fatalf("%s: want no diagnostics, got %v", rel, diags)
+		}
+	}
+}
+
+func TestClockBanAllowsDurations(t *testing.T) {
+	diags := checkAt(t, "internal/server/x.go", `package p
+import "time"
+const gracePeriod = 10 * time.Second
+var d time.Duration`)
+	if len(diags) != 0 {
+		t.Fatalf("durations/constants flagged: %v", diags)
+	}
+}
+
+func TestClockBanSeesAliasedImport(t *testing.T) {
+	diags := checkAt(t, "internal/sim/x.go", `package p
+import wall "time"
+func f() { _ = wall.Now() }`)
+	if len(diags) != 1 {
+		t.Fatalf("aliased time import: want 1 diagnostic, got %v", diags)
+	}
+}
+
 // TestRepositoryIsShadowFree sweeps the whole module: the sim.RunCtx
 // class of bug cannot recur while this test is green.
 func TestRepositoryIsShadowFree(t *testing.T) {

@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sjtu-epcc/arena/internal/cluster"
+	"github.com/sjtu-epcc/arena/internal/rng"
+	"github.com/sjtu-epcc/arena/internal/sched"
+	"github.com/sjtu-epcc/arena/internal/trace"
+)
+
+// Engine is the simulator's world exposed one step at a time: the same
+// state machine and round body RunCtx drives to completion, usable
+// incrementally so a long-running scheduler daemon can feed it jobs as
+// they arrive over HTTP and fire rounds from a wall clock. The batch
+// simulator and internal/server literally share this code path — the
+// paper's shared-scheduling-code fidelity claim (§4), made structural.
+//
+// An Engine is not safe for concurrent use; callers that take input from
+// many goroutines (the server) serialize access themselves. All instants
+// are seconds on the run timeline (see internal/clock); rounds must be
+// fired with non-decreasing `now`.
+type Engine struct {
+	s         *state
+	maxRounds int
+}
+
+// NewEngine validates the configuration and builds the initial world:
+// cfg.Jobs become pending submissions exactly as RunCtx stages them. An
+// empty Jobs slice is valid — the daemon starts idle and submits later.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Policy == nil || cfg.DB == nil {
+		return nil, fmt.Errorf("sim: need a policy and a perfdb")
+	}
+	if cfg.RoundSeconds <= 0 {
+		cfg.RoundSeconds = 300
+	}
+	if cfg.MaxPerJob <= 0 {
+		cfg.MaxPerJob = cfg.DB.MaxN
+	}
+	cl, err := cluster.New(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	// Online-profiled observations belong to a single run (Fig. 4(b)'s
+	// refinement loop); clear any left by a previous simulation.
+	cfg.DB.ResetObservations()
+
+	s := &state{
+		cfg:     cfg,
+		cluster: cl,
+		noise:   rng.Derive(cfg.Seed, rng.HashString("sim-noise")),
+		acct:    map[*sched.Job]*jobAcct{},
+	}
+	e := &Engine{s: s}
+	for _, tj := range cfg.Jobs {
+		w := tj.Workload
+		j := &sched.Job{
+			Trace:            tj,
+			State:            sched.StateQueued,
+			SubmittedAt:      tj.SubmitTime + cfg.Policy.ProfilePrepend(cfg.DB, w),
+			LaunchedAt:       -1,
+			RemainingSamples: tj.TotalSamples(),
+			CurPriority:      tj.Priority,
+		}
+		s.pending = append(s.pending, j)
+	}
+	sort.SliceStable(s.pending, func(a, b int) bool {
+		return s.pending[a].SubmittedAt < s.pending[b].SubmittedAt
+	})
+
+	e.maxRounds = cfg.MaxRounds
+	if e.maxRounds <= 0 {
+		// Horizon: trace span plus generous drain time.
+		var last float64
+		for _, j := range cfg.Jobs {
+			if j.SubmitTime > last {
+				last = j.SubmitTime
+			}
+		}
+		e.maxRounds = int((last*3+48*3600)/cfg.RoundSeconds) + 1
+	}
+
+	if cfg.Faults.Enabled() {
+		fc := cfg.Faults.WithDefaults()
+		s.faults = &fc
+		// Materialize the whole fault realization up front: a pure
+		// function of (seed, cluster shape, horizon), untouched by
+		// scheduling decisions.
+		horizon := float64(e.maxRounds+1) * cfg.RoundSeconds
+		if err := fc.Trace.Validate(cfg.Spec); err != nil {
+			return nil, err
+		}
+		s.events = append(s.events, fc.Trace...)
+		if fc.Model != nil {
+			s.events = append(s.events, fc.Model.Schedule(cfg.Spec, cfg.Seed, horizon)...)
+		}
+		s.events.Sort()
+	}
+	return e, nil
+}
+
+// cfg returns the normalized configuration (defaults resolved).
+func (e *Engine) cfg() Config { return e.s.cfg }
+
+// RoundSeconds returns the scheduling interval after defaulting.
+func (e *Engine) RoundSeconds() float64 { return e.s.cfg.RoundSeconds }
+
+// MaxRounds returns the round bound RunCtx enforces: the configured cap,
+// or the horizon derived from the initial trace. Incremental drivers
+// (the server) ignore it and run for the process's lifetime.
+func (e *Engine) MaxRounds() int { return e.maxRounds }
+
+// Round fires one scheduling round at instant `now`: progress running
+// jobs (and any fault events) up to now, admit newly submitted jobs,
+// filter crash-backoff holds, ask the policy for its assignment, and
+// apply it. Returns the policy's decision — the value the server
+// journals and the crash-recovery test proves bit-identical across a
+// restart.
+func (e *Engine) Round(now float64) sched.Assignment {
+	s := e.s
+	s.advanceTo(now)
+	s.admit(now)
+
+	// Crash-restart backoff gates relaunch uniformly across policies:
+	// a job still backing off is invisible this round.
+	eligible := s.queued
+	if s.faults != nil {
+		eligible = make([]*sched.Job, 0, len(s.queued))
+		for _, j := range s.queued {
+			if j.NextEligibleAt <= now {
+				eligible = append(eligible, j)
+			}
+		}
+	}
+
+	// Named rctx, not ctx: shadowing a context.Context parameter here
+	// once hid a cancellation bug (the vet shadow check in CI now
+	// rejects the pattern).
+	rctx := &sched.Context{
+		Now:       now,
+		Queued:    eligible,
+		Running:   s.running,
+		Cluster:   s.cluster,
+		DB:        s.cfg.DB,
+		MaxPerJob: s.cfg.MaxPerJob,
+	}
+	asg := s.cfg.Policy.Assign(rctx)
+	s.apply(now, asg)
+
+	s.sampleThroughput(now)
+	return asg
+}
+
+// Submit registers a job after construction — the daemon's submit path.
+// The job's SubmittedAt gains the policy's profiling prepend exactly as
+// trace jobs do, and it is inserted keeping pending sorted by effective
+// submission time with ties in arrival order, so an incremental sequence
+// of Submits reproduces the batch constructor's stable sort and a
+// journal replay reconstructs identical state.
+func (e *Engine) Submit(tj trace.Job) *sched.Job {
+	s := e.s
+	j := &sched.Job{
+		Trace:            tj,
+		State:            sched.StateQueued,
+		SubmittedAt:      tj.SubmitTime + s.cfg.Policy.ProfilePrepend(s.cfg.DB, tj.Workload),
+		LaunchedAt:       -1,
+		RemainingSamples: tj.TotalSamples(),
+		CurPriority:      tj.Priority,
+	}
+	// First index whose SubmittedAt exceeds the new job's: insert there,
+	// i.e. after every earlier-or-equal submission.
+	i := sort.Search(len(s.pending), func(i int) bool {
+		return s.pending[i].SubmittedAt > j.SubmittedAt
+	})
+	s.pending = append(s.pending, nil)
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = j
+	return j
+}
+
+// Cancel abandons a job at instant `now`: a pending or queued job is
+// dropped outright; a running job is evicted and its resources freed.
+// Finished, dropped and failed jobs are left untouched. Reports whether
+// a live job was cancelled.
+func (e *Engine) Cancel(id string, now float64) bool {
+	s := e.s
+	for i, j := range s.pending {
+		if j.Trace.ID == id {
+			j.State = sched.StateDropped
+			j.FinishedAt = now
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			s.done_ = append(s.done_, j)
+			return true
+		}
+	}
+	if j := s.findQueued(id); j != nil {
+		j.State = sched.StateDropped
+		j.FinishedAt = now
+		s.queued = removeJob(s.queued, j)
+		s.done_ = append(s.done_, j)
+		return true
+	}
+	for _, j := range s.running {
+		if j.Trace.ID == id {
+			s.cluster.Free(id)
+			j.State = sched.StateDropped
+			j.FinishedAt = now
+			j.Alloc = sched.Alloc{}
+			j.ActualThr = 0
+			s.running = removeJob(s.running, j)
+			s.done_ = append(s.done_, j)
+			return true
+		}
+	}
+	return false
+}
+
+// Find returns the job with the given trace ID in any lifecycle state,
+// or nil. The returned pointer is the engine's live record; callers must
+// not mutate it.
+func (e *Engine) Find(id string) *sched.Job {
+	s := e.s
+	if j := s.findAny(id); j != nil {
+		return j
+	}
+	for _, list := range [][]*sched.Job{s.pending, s.done_} {
+		for _, j := range list {
+			if j.Trace.ID == id {
+				return j
+			}
+		}
+	}
+	return nil
+}
+
+// Jobs returns every job the engine has ever seen (completed first, then
+// running, queued and pending), in the same order Finish reports them.
+func (e *Engine) Jobs() []*sched.Job {
+	s := e.s
+	jobs := append([]*sched.Job(nil), s.done_...)
+	jobs = append(jobs, s.running...)
+	jobs = append(jobs, s.queued...)
+	jobs = append(jobs, s.pending...)
+	return jobs
+}
+
+// Done reports whether no work remains anywhere in the world.
+func (e *Engine) Done() bool { return e.s.done() }
+
+// Finish progresses the world to `end` and assembles the final metrics
+// summary — the batch simulator's last step. The engine remains usable
+// (a daemon can snapshot metrics without stopping), but Finish at a
+// given instant is idempotent only if no rounds fire in between.
+func (e *Engine) Finish(end float64) *Result {
+	e.s.advanceTo(end)
+	return e.s.finish(end)
+}
+
+// Stats is a monitoring snapshot of the engine's live state — the
+// counters the server's stats endpoint surfaces.
+type Stats struct {
+	Pending, Queued, Running            int
+	Finished, Dropped, Failed           int
+	Preemptions, Restarts, Migrations   int
+	GoodputGPUSeconds, WastedGPUSeconds float64
+	Utilization                         float64
+}
+
+// Stats summarizes the engine's current world for monitoring. O(jobs);
+// never affects scheduling state.
+func (e *Engine) Stats() Stats {
+	s := e.s
+	st := Stats{
+		Pending:           len(s.pending),
+		Queued:            len(s.queued),
+		Running:           len(s.running),
+		GoodputGPUSeconds: s.goodputGPUSec,
+		WastedGPUSeconds:  s.wastedGPUSec,
+		Utilization:       s.cluster.Utilization(),
+	}
+	for _, j := range s.done_ {
+		switch j.State {
+		case sched.StateFinished:
+			st.Finished++
+		case sched.StateDropped:
+			st.Dropped++
+		case sched.StateFailed:
+			st.Failed++
+		}
+	}
+	for _, list := range [][]*sched.Job{s.done_, s.running, s.queued, s.pending} {
+		for _, j := range list {
+			st.Preemptions += j.Preemptions
+			st.Restarts += j.Restarts
+			st.Migrations += j.Migrations
+		}
+	}
+	return st
+}

@@ -13,10 +13,10 @@ package sim
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"sort"
 
+	"github.com/sjtu-epcc/arena/internal/clock"
 	"github.com/sjtu-epcc/arena/internal/cluster"
 	"github.com/sjtu-epcc/arena/internal/core"
 	"github.com/sjtu-epcc/arena/internal/faults"
@@ -59,6 +59,14 @@ type Config struct {
 	// the failure-free simulation bit-identical to the pre-fault model.
 	Faults *faults.Config
 
+	// Clock drives the round loop. Nil uses a virtual clock (discrete-
+	// event time, no wall time burned — the classic simulator). A wall
+	// clock turns the very same loop into real-time execution: rounds
+	// still run at their nominal instants k*RoundSeconds, so results are
+	// bit-identical across clocks. internal/server plugs its clock into
+	// the same Engine this loop drives.
+	Clock clock.Clock
+
 	// Progress, when non-nil, receives one "sim.round" event per
 	// scheduling round (called from the simulation loop, single-threaded).
 	// It never affects outcomes.
@@ -79,124 +87,42 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // RunCtx is Run with cooperative cancellation: the round loop stops at
-// the first cancelled check and returns ctx.Err() with a nil result.
+// the first cancelled check — always between rounds, so an in-flight
+// round completes — and returns ctx.Err() with a nil result.
 // Uncancelled, the simulation is bit-identical to Run.
+//
+// RunCtx is a thin driver over Engine: it hands Engine.Round to
+// clock.Tick on the configured clock (virtual by default). The live
+// server (internal/server) drives the identical Engine and loop with a
+// wall clock and a journal — there is no forked round logic.
 func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Policy == nil || cfg.DB == nil {
-		return nil, fmt.Errorf("sim: need a policy and a perfdb")
-	}
-	if cfg.RoundSeconds <= 0 {
-		cfg.RoundSeconds = 300
-	}
-	if cfg.MaxPerJob <= 0 {
-		cfg.MaxPerJob = cfg.DB.MaxN
-	}
-	cl, err := cluster.New(cfg.Spec)
+	e, err := NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	// Online-profiled observations belong to a single run (Fig. 4(b)'s
-	// refinement loop); clear any left by a previous simulation.
-	cfg.DB.ResetObservations()
-
-	s := &state{
-		cfg:     cfg,
-		cluster: cl,
-		noise:   rng.Derive(cfg.Seed, rng.HashString("sim-noise")),
-		acct:    map[*sched.Job]*jobAcct{},
+	cfg = e.cfg() // normalized defaults (RoundSeconds, MaxPerJob)
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.NewVirtual()
 	}
-	for _, tj := range cfg.Jobs {
-		w := tj.Workload
-		j := &sched.Job{
-			Trace:            tj,
-			State:            sched.StateQueued,
-			SubmittedAt:      tj.SubmitTime + cfg.Policy.ProfilePrepend(cfg.DB, w),
-			LaunchedAt:       -1,
-			RemainingSamples: tj.TotalSamples(),
-			CurPriority:      tj.Priority,
+	maxRounds := e.MaxRounds()
+	lastNow := 0.0
+	err = clock.Tick(ctx, clk, cfg.RoundSeconds, func(round int, now float64) bool {
+		if round >= maxRounds {
+			return false
 		}
-		s.pending = append(s.pending, j)
-	}
-	sort.SliceStable(s.pending, func(a, b int) bool {
-		return s.pending[a].SubmittedAt < s.pending[b].SubmittedAt
-	})
-
-	maxRounds := cfg.MaxRounds
-	if maxRounds <= 0 {
-		// Horizon: trace span plus generous drain time.
-		var last float64
-		for _, j := range cfg.Jobs {
-			if j.SubmitTime > last {
-				last = j.SubmitTime
-			}
-		}
-		maxRounds = int((last*3+48*3600)/cfg.RoundSeconds) + 1
-	}
-
-	if cfg.Faults.Enabled() {
-		fc := cfg.Faults.WithDefaults()
-		s.faults = &fc
-		// Materialize the whole fault realization up front: a pure
-		// function of (seed, cluster shape, horizon), untouched by
-		// scheduling decisions.
-		horizon := float64(maxRounds+1) * cfg.RoundSeconds
-		if err := fc.Trace.Validate(cfg.Spec); err != nil {
-			return nil, err
-		}
-		s.events = append(s.events, fc.Trace...)
-		if fc.Model != nil {
-			s.events = append(s.events, fc.Model.Schedule(cfg.Spec, cfg.Seed, horizon)...)
-		}
-		s.events.Sort()
-	}
-
-	now := 0.0
-	for round := 0; round < maxRounds; round++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		now = float64(round) * cfg.RoundSeconds
-		s.advanceTo(now)
-		s.admit(now)
-
-		// Crash-restart backoff gates relaunch uniformly across policies:
-		// a job still backing off is invisible this round.
-		eligible := s.queued
-		if s.faults != nil {
-			eligible = make([]*sched.Job, 0, len(s.queued))
-			for _, j := range s.queued {
-				if j.NextEligibleAt <= now {
-					eligible = append(eligible, j)
-				}
-			}
-		}
-
-		// Named rctx, not ctx: shadowing the context.Context parameter
-		// here once hid a cancellation bug (the vet shadow check in CI
-		// now rejects the pattern).
-		rctx := &sched.Context{
-			Now:       now,
-			Queued:    eligible,
-			Running:   s.running,
-			Cluster:   s.cluster,
-			DB:        cfg.DB,
-			MaxPerJob: cfg.MaxPerJob,
-		}
-		asg := cfg.Policy.Assign(rctx)
-		s.apply(now, asg)
-
-		s.sampleThroughput(now)
+		lastNow = now
+		e.Round(now)
 		cfg.Progress.Emit("sim.round", cfg.Policy.Name(), round+1, maxRounds)
-		if s.done() && round > 1 {
-			break
-		}
+		return !(e.Done() && round > 1)
+	})
+	if err != nil {
+		return nil, err
 	}
-	end := now + cfg.RoundSeconds
-	s.advanceTo(end)
-	return s.finish(end), nil
+	return e.Finish(lastNow + cfg.RoundSeconds), nil
 }
 
 // state is the simulator's mutable world.

@@ -1,0 +1,160 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// A Journal is an append-only, per-record-checksummed log inside a store
+// — the durability mechanism behind the server's crash recovery. Records
+// are JSON payloads framed one per line as
+//
+//	{"version":1,"seq":N,"sum":"<sha256 of compact payload>","payload":...}
+//
+// with sequence numbers contiguous from 0. OpenJournal validates every
+// frame before returning: any unparseable, version-skewed, out-of-order
+// or checksum-failing record — including a torn final line — yields a
+// *Error wrapping ErrCorrupt (or ErrSchema), and the caller is expected
+// to refuse to proceed rather than replay garbage. Append fsyncs each
+// record before returning, so an acknowledged record survives the
+// process.
+//
+// A Journal is not safe for concurrent use; the store's single-writer
+// lock already serializes processes, and the owning process serializes
+// its own appends.
+type Journal struct {
+	path string
+	f    *os.File
+	next int // sequence number of the next record to append
+}
+
+// journalRecord frames one journal payload on disk.
+type journalRecord struct {
+	Version int             `json:"version"`
+	Seq     int             `json:"seq"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// journalName guards path construction the way Key.valid does for keys.
+func journalName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, c := range name {
+		if !strings.ContainsRune("abcdefghijklmnopqrstuvwxyz0123456789-", c) {
+			return false
+		}
+	}
+	return true
+}
+
+// OpenJournal opens (creating if needed) the journal `name`, validates
+// every existing record, and returns the journal positioned to append
+// along with the validated payloads in order — the replay input. Any
+// invalid record fails the open; a store that has been tampered with or
+// torn is surfaced, never silently truncated.
+func (s *Store) OpenJournal(name string) (*Journal, []json.RawMessage, error) {
+	if !journalName(name) {
+		return nil, nil, &Error{Op: "journal", Path: name, Err: fmt.Errorf("invalid journal name %q", name)}
+	}
+	dir := filepath.Join(s.dir, "journal")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, &Error{Op: "journal", Path: dir, Err: err}
+	}
+	path := filepath.Join(dir, name+".log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, &Error{Op: "journal", Path: path, Err: err}
+	}
+	entries, next, err := readJournal(path, f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{path: path, f: f, next: next}, entries, nil
+}
+
+// readJournal scans and validates every frame, returning the payloads
+// and the next sequence number.
+func readJournal(path string, f *os.File) ([]json.RawMessage, int, error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var entries []json.RawMessage
+	seq := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, 0, &Error{Op: "journal", Path: path, Err: fmt.Errorf("%w: record %d: %v", ErrCorrupt, seq, err)}
+		}
+		if rec.Version != Version {
+			return nil, 0, &Error{Op: "journal", Path: path, Err: fmt.Errorf("%w: record %d has v%d, this build reads v%d", ErrSchema, seq, rec.Version, Version)}
+		}
+		if rec.Seq != seq {
+			return nil, 0, &Error{Op: "journal", Path: path, Err: fmt.Errorf("%w: record %d carries seq %d (reordered or spliced)", ErrCorrupt, seq, rec.Seq)}
+		}
+		if payloadSum(rec.Payload) != rec.Sum {
+			return nil, 0, &Error{Op: "journal", Path: path, Err: fmt.Errorf("%w: record %d payload checksum mismatch", ErrCorrupt, seq)}
+		}
+		entries = append(entries, append(json.RawMessage(nil), rec.Payload...))
+		seq++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, &Error{Op: "journal", Path: path, Err: fmt.Errorf("%w: %v", ErrCorrupt, err)}
+	}
+	return entries, seq, nil
+}
+
+// Len returns the number of records appended so far (validated records
+// at open plus Appends since).
+func (j *Journal) Len() int { return j.next }
+
+// Append frames, writes and fsyncs one record. When Append returns nil
+// the record is durable; on error the journal may hold a torn tail,
+// which the next OpenJournal will surface as corruption rather than
+// drop.
+func (j *Journal) Append(v any) error {
+	if j.f == nil {
+		return &Error{Op: "journal", Path: j.path, Err: errors.New("append to closed journal")}
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return &Error{Op: "journal", Path: j.path, Err: err}
+	}
+	rec := journalRecord{Version: Version, Seq: j.next, Sum: payloadSum(payload), Payload: payload}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return &Error{Op: "journal", Path: j.path, Err: err}
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return &Error{Op: "journal", Path: j.path, Err: err}
+	}
+	if err := j.f.Sync(); err != nil {
+		return &Error{Op: "journal", Path: j.path, Err: err}
+	}
+	j.next++
+	return nil
+}
+
+// Close flushes and closes the journal file. Idempotent.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return &Error{Op: "journal", Path: j.path, Err: err}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mustOpen opens a store or fails the test.
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenLocksOutSecondProcess(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir)
+
+	// flock follows the open file description, so a second Open — even in
+	// the same process — models a second process exactly.
+	_, err := Open(dir)
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open returned %v, want ErrLocked", err)
+	}
+	var serr *Error
+	if !errors.As(err, &serr) || serr.Op != "open" {
+		t.Fatalf("second Open error %v is not a typed store *Error", err)
+	}
+
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+}
+
+type jrec struct {
+	Kind string  `json:"kind"`
+	At   float64 `json:"at"`
+}
+
+// journalPath returns the on-disk file behind a named journal.
+func journalPath(s *Store, name string) string {
+	return filepath.Join(s.Dir(), "journal", name+".log")
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	defer s.Close()
+
+	j, entries, err := s.OpenJournal("rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal has %d entries", len(entries))
+	}
+	want := []jrec{{"submit", 0}, {"round", 300}, {"round", 600}}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", j.Len(), len(want))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, entries, err := s.OpenJournal("rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(entries) != len(want) {
+		t.Fatalf("reopened journal has %d entries, want %d", len(entries), len(want))
+	}
+	for i, raw := range entries {
+		var got jrec
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got, want[i])
+		}
+	}
+	// Appends continue the sequence after a reopen.
+	if err := j2.Append(jrec{"round", 900}); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != len(want)+1 {
+		t.Fatalf("Len after reopen+append = %d", j2.Len())
+	}
+}
+
+// corruptJournal writes three valid records then mangles the file via fn.
+func corruptJournal(t *testing.T, fn func(data []byte) []byte) error {
+	t.Helper()
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	defer s.Close()
+	j, _, err := s.OpenJournal("rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(jrec{"round", float64(i) * 300}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := journalPath(s, "rounds")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, _, err := s.OpenJournal("rounds")
+	if err == nil {
+		j2.Close()
+	}
+	return err
+}
+
+func TestJournalTruncatedTailRefused(t *testing.T) {
+	err := corruptJournal(t, func(data []byte) []byte {
+		return data[:len(data)-10] // tear the last record mid-frame
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated journal opened with %v, want ErrCorrupt", err)
+	}
+}
+
+func TestJournalTamperedPayloadRefused(t *testing.T) {
+	err := corruptJournal(t, func(data []byte) []byte {
+		return []byte(strings.Replace(string(data), `"at":300`, `"at":301`, 1))
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered journal opened with %v, want ErrCorrupt", err)
+	}
+}
+
+func TestJournalSplicedSequenceRefused(t *testing.T) {
+	err := corruptJournal(t, func(data []byte) []byte {
+		// Drop the middle record: checksums still pass, sequence does not.
+		lines := strings.SplitAfter(string(data), "\n")
+		return []byte(lines[0] + lines[2])
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("spliced journal opened with %v, want ErrCorrupt", err)
+	}
+}
+
+func TestJournalVersionSkewRefused(t *testing.T) {
+	err := corruptJournal(t, func(data []byte) []byte {
+		return []byte(strings.ReplaceAll(string(data), `{"version":1,`, `{"version":99,`))
+	})
+	if !errors.Is(err, ErrSchema) {
+		t.Fatalf("version-skewed journal opened with %v, want ErrSchema", err)
+	}
+}
+
+func TestJournalRejectsBadName(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	defer s.Close()
+	for _, name := range []string{"", "UPPER", "../escape", "a/b"} {
+		if _, _, err := s.OpenJournal(name); err == nil {
+			t.Fatalf("OpenJournal(%q) succeeded", name)
+		}
+	}
+}

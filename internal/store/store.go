@@ -34,6 +34,10 @@ var (
 	// ErrKeyMismatch marks an object whose embedded key differs from the
 	// one it was looked up under (renamed or misplaced file).
 	ErrKeyMismatch = errors.New("key mismatch")
+	// ErrLocked marks a store directory already held by another process —
+	// a daemon and a CLI pointed at the same -store, or two daemons. The
+	// second opener fails fast instead of racing the first's writes.
+	ErrLocked = errors.New("store locked by another process")
 )
 
 // Error reports one store operation failure with enough context to warn
@@ -82,9 +86,13 @@ func (k Key) valid() bool {
 
 // Store is an open store directory. The zero value is not usable;
 // construct with Open. A Store is safe for concurrent use by multiple
-// goroutines and multiple processes.
+// goroutines, but Open enforces a single writer per directory across
+// processes: the store is held via an advisory file lock until Close (or
+// process exit — the kernel releases the lock either way, so a crashed
+// holder never wedges the directory).
 type Store struct {
-	dir string
+	dir  string
+	lock *os.File
 }
 
 // manifest is the store-level version stamp.
@@ -103,25 +111,74 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, &Error{Op: "open", Path: dir, Err: err}
 	}
+	lock, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkManifest(dir); err != nil {
+		lock.Close()
+		return nil, err
+	}
+	return &Store{dir: dir, lock: lock}, nil
+}
+
+// checkManifest verifies (stamping on first open) the store's schema
+// version.
+func checkManifest(dir string) error {
 	mpath := filepath.Join(dir, "MANIFEST.json")
 	data, err := os.ReadFile(mpath)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		if err := writeAtomic(mpath, mustJSON(manifest{Version: Version})); err != nil {
-			return nil, &Error{Op: "open", Path: mpath, Err: err}
+			return &Error{Op: "open", Path: mpath, Err: err}
 		}
 	case err != nil:
-		return nil, &Error{Op: "open", Path: mpath, Err: err}
+		return &Error{Op: "open", Path: mpath, Err: err}
 	default:
 		var m manifest
 		if err := json.Unmarshal(data, &m); err != nil {
-			return nil, &Error{Op: "open", Path: mpath, Err: fmt.Errorf("%w: %v", ErrCorrupt, err)}
+			return &Error{Op: "open", Path: mpath, Err: fmt.Errorf("%w: %v", ErrCorrupt, err)}
 		}
 		if m.Version != Version {
-			return nil, &Error{Op: "open", Path: mpath, Err: fmt.Errorf("%w: store has v%d, this build writes v%d", ErrSchema, m.Version, Version)}
+			return &Error{Op: "open", Path: mpath, Err: fmt.Errorf("%w: store has v%d, this build writes v%d", ErrSchema, m.Version, Version)}
 		}
 	}
-	return &Store{dir: dir}, nil
+	return nil
+}
+
+// acquireLock takes the store's advisory single-writer lock (LOCK inside
+// dir), failing fast with ErrLocked if another process holds it. flock
+// follows the open file description, so the lock outlives forks but
+// vanishes with the process — a crash cannot leave the store wedged.
+func acquireLock(dir string) (*os.File, error) {
+	lpath := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(lpath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, &Error{Op: "open", Path: lpath, Err: err}
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK {
+			return nil, &Error{Op: "open", Path: lpath, Err: ErrLocked}
+		}
+		return nil, &Error{Op: "open", Path: lpath, Err: err}
+	}
+	return f, nil
+}
+
+// Close releases the store's single-writer lock. Idempotent; using the
+// Store after Close is a caller bug (another process may own the
+// directory by then).
+func (s *Store) Close() error {
+	if s.lock == nil {
+		return nil
+	}
+	err := s.lock.Close() // closing the descriptor drops the flock
+	s.lock = nil
+	if err != nil {
+		return &Error{Op: "close", Path: s.dir, Err: err}
+	}
+	return nil
 }
 
 // Dir returns the store's root directory.

@@ -183,14 +183,18 @@ func TestKeyMismatch(t *testing.T) {
 
 func TestManifestSchemaMismatch(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := Open(dir); err != nil {
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "MANIFEST.json"),
 		[]byte(fmt.Sprintf(`{"version":%d}`, Version+1)), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err := Open(dir)
+	_, err = Open(dir)
 	if !errors.Is(err, ErrSchema) {
 		t.Fatalf("manifest skew: want ErrSchema, got %v", err)
 	}

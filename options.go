@@ -121,6 +121,11 @@ func WithWorkloads(ws ...Workload) Option {
 // Corrupt or stale objects are skipped and rebuilt (see EvalStoreStats /
 // PerfDBStoreStats), never served.
 //
+// The store directory admits one process at a time: New takes an advisory
+// file lock released by Close (or process exit), and a second opener —
+// say a CLI pointed at a running arena-server's store — fails fast with
+// an error wrapping store.ErrLocked instead of racing the first's writes.
+//
 // An empty dir is a no-op. When both WithStore and WithPerfDBSnapshot are
 // given, the store serves BuildPerfDB and the snapshot path is ignored.
 func WithStore(dir string) Option {

@@ -139,11 +139,12 @@ func New(opts ...Option) (*Session, error) {
 	return s, nil
 }
 
-// Close flushes the session's measurement memo to the configured store so
-// the next process starts warm; without WithStore it is a no-op. Closing
-// does not invalidate the session — it may keep measuring and Close again —
-// but callers should treat Close as the end of the session's lifecycle
-// (defer it next to New). The returned error, when non-nil, is a
+// Close flushes the session's measurement memo to the configured store
+// and releases the store's single-writer lock so another process can
+// open the directory; without WithStore it is a no-op. Closing does not
+// invalidate the session — it may keep measuring — but persistence stops:
+// the store is gone, so defer Close next to New and treat it as the end
+// of the session's lifecycle. The returned error, when non-nil, is a
 // *store-layer persistence failure; all measured results remain valid, so
 // callers typically warn and continue, exactly as with
 // perfdb.SnapshotError.
@@ -151,7 +152,19 @@ func (s *Session) Close() error {
 	if s.store == nil {
 		return nil
 	}
-	return s.cache.SaveStore(s.store)
+	err := s.cache.SaveStore(s.store)
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	s.store = nil
+	return err
+}
+
+// Store exposes the session's open measurement store, or nil without
+// WithStore. Long-running callers (arena-server) journal scheduler state
+// through it; batch tools never need it.
+func (s *Session) Store() *store.Store {
+	return s.store
 }
 
 // EvalStoreStats reports what the session has restored from the

@@ -357,6 +357,17 @@ type TraceConfig = trace.Config
 // GenerateTrace synthesizes a deterministic production-shaped trace.
 func GenerateTrace(cfg TraceConfig) ([]TraceJob, error) { return trace.Generate(cfg) }
 
+// TraceSource streams trace jobs on demand — SimConfig.Source's type.
+type TraceSource = trace.Source
+
+// SliceTraceSource wraps an in-memory trace as a streaming TraceSource.
+func SliceTraceSource(jobs []TraceJob) TraceSource { return trace.SliceSource(jobs) }
+
+// StreamTrace builds a streaming synthetic-trace source: same workload
+// mixtures as GenerateTrace, Poisson arrivals shaped per trace family,
+// O(1) memory regardless of NumJobs.
+func StreamTrace(cfg TraceConfig) (TraceSource, error) { return trace.Stream(cfg) }
+
 // Trace configurations from the paper (§5.1–5.3).
 var (
 	PhillySixHour = trace.PhillySixHour

@@ -26,6 +26,7 @@ import (
 	"github.com/sjtu-epcc/arena/internal/planner"
 	"github.com/sjtu-epcc/arena/internal/profiler"
 	"github.com/sjtu-epcc/arena/internal/sched"
+	"github.com/sjtu-epcc/arena/internal/sched/policy"
 	"github.com/sjtu-epcc/arena/internal/search"
 	"github.com/sjtu-epcc/arena/internal/server"
 	"github.com/sjtu-epcc/arena/internal/sim"
@@ -313,6 +314,72 @@ func BenchmarkSimRun(b *testing.B) {
 			}
 		}
 	})
+	b.Run("100k", func(b *testing.B) { streamBenchRun(b, 100_000) })
+}
+
+// streamBenchSpec is the synthetic large cluster of the streaming
+// benchmarks: 2048 GPUs across the two types the shared database knows.
+func streamBenchSpec() hw.ClusterSpec {
+	return hw.ClusterSpec{
+		Name: "bench-xl",
+		Regions: []hw.Region{
+			{GPUType: "A40", Nodes: 512},
+			{GPUType: "A10", Nodes: 512},
+		},
+	}
+}
+
+// streamBenchRun guards the event-heap core at scale: n jobs arrive from
+// a streaming Helios-day generator (never materialized as a slice) and
+// the simulator runs in streaming-summary mode, so memory stays O(active
+// jobs) no matter how large n grows. A fresh single-use generator is
+// built per iteration; its cost is a few RNG draws per job and stays in
+// the timed region, as it would in any real streaming run. The policy is
+// FCFS — the cheapest Assign — so the timed region is dominated by the
+// engine (admission, heap, accounting), not by policy search; the richer
+// policies' per-round cost over huge queues is their own concern and
+// BenchmarkSimRun/arena guards the arena policy at trace scale.
+func streamBenchRun(b *testing.B, n int) {
+	simBenchSetup()
+	if simBenchErr != nil {
+		b.Fatal(simBenchErr)
+	}
+	cfg := trace.HeliosDay(7, []string{"A40", "A10"}, n)
+	cfg.Workloads = []model.Workload{
+		{Model: "WRes-1B", GlobalBatch: 256},
+		{Model: "GPT-1.3B", GlobalBatch: 128},
+		{Model: "GPT-2.6B", GlobalBatch: 128},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src, err := trace.Stream(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Spec: streamBenchSpec(), Policy: policy.NewFCFS(), Source: src,
+			Streaming: true, DB: simBenchDB, RoundSeconds: 300,
+			IncludeUnfinished: true, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res == nil || res.Summary.Total < n/2 {
+			b.Fatalf("streaming run lost jobs: %+v", res)
+		}
+	}
+}
+
+// BenchmarkSimRunMillion is the scale smoke for the streaming core: one
+// million generated jobs through the same pipeline as SimRun/100k. It is
+// deliberately named outside the BenchmarkSimRun$ CI regexes — it exists
+// to prove O(active jobs) memory at extreme scale on demand, not to gate
+// every commit — and -short skips it.
+func BenchmarkSimRunMillion(b *testing.B) {
+	if testing.Short() {
+		b.Skip("million-job smoke skipped in -short mode")
+	}
+	streamBenchRun(b, 1_000_000)
 }
 
 // BenchmarkSimRunFaults guards the fault-injected simulation path: the

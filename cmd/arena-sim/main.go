@@ -7,6 +7,12 @@
 //	arena-sim -policy all -trace philly -cluster a -store ./measurements
 //	arena-sim -policy sia -trace pai -cluster sim -jobs 450 -workers 4
 //
+// Streaming generation (jobs are drawn on demand instead of materialized,
+// so -trace-jobs can be very large at O(active jobs) memory):
+//
+//	arena-sim -policy arena -trace-gen helios-day -trace-jobs 100000
+//	arena-sim -policy all -trace-gen philly-week
+//
 // Fault injection (deterministic, drawn from -seed):
 //
 //	arena-sim -policy arena -mtbf 12 -mttr 0.5 -straggler-mtbs 24
@@ -28,6 +34,8 @@ func main() {
 	var (
 		policyName  = flag.String("policy", "all", "fcfs|gavel|elasticflow|sia|arena|all")
 		traceKind   = flag.String("trace", "philly", "philly|helios|pai")
+		traceGen    = flag.String("trace-gen", "", "streaming trace generator preset: philly-6h|philly-week|helios-day|pai-day (replaces -trace/-jobs; memory stays O(active jobs))")
+		traceJobsN  = flag.Int("trace-jobs", 0, "expected job count for -trace-gen (0 = preset default)")
 		clusterName = flag.String("cluster", "sim", "a|b|sim|b-homogeneous")
 		jobs        = flag.Int("jobs", 0, "job count (0 = per-trace default)")
 		scale       = flag.Float64("scale", 12, "job lifespan scale")
@@ -50,14 +58,27 @@ func main() {
 	}
 	types := spec.GPUTypes()
 
-	cfg, err := cli.PickTrace(*traceKind, c.Seed, types, *jobs)
+	// -trace-gen streams jobs into the simulator on demand (a fresh
+	// single-use source per policy run); the default path materializes
+	// the whole trace up front.
+	var (
+		cfg       arena.TraceConfig
+		traceJobs []arena.TraceJob
+	)
+	if *traceGen != "" {
+		cfg, err = cli.PickTraceGen(*traceGen, c.Seed, types, *traceJobsN)
+	} else {
+		cfg, err = cli.PickTrace(*traceKind, c.Seed, types, *jobs)
+	}
 	if err != nil {
 		cli.Fatal(err)
 	}
 	cfg.LifespanScale = *scale
-	traceJobs, err := arena.GenerateTrace(cfg)
-	if err != nil {
-		cli.Fatal(err)
+	if *traceGen == "" {
+		traceJobs, err = arena.GenerateTrace(cfg)
+		if err != nil {
+			cli.Fatal(err)
+		}
 	}
 
 	sess := cli.NewSession(c,
@@ -91,12 +112,22 @@ func main() {
 	}
 	fmt.Println(header)
 	for _, p := range pols {
-		res, err := sess.Simulate(ctx, arena.SimConfig{
+		sc := arena.SimConfig{
 			Policy: p, Jobs: traceJobs,
 			RoundSeconds: 300, MaxRounds: pick(*rounds, 2*window+576),
 			IncludeUnfinished: true, Seed: c.Seed,
 			Faults: fc,
-		})
+		}
+		if *traceGen != "" {
+			// Sources are single-use: each policy gets its own (identical)
+			// stream. Streaming mode keeps memory O(active jobs).
+			src, err := arena.StreamTrace(cfg)
+			if err != nil {
+				cli.Fatal(err)
+			}
+			sc.Jobs, sc.Source, sc.Streaming = nil, src, true
+		}
+		res, err := sess.Simulate(ctx, sc)
 		if err != nil {
 			cli.Fatal(err)
 		}

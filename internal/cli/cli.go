@@ -257,6 +257,15 @@ func PickCluster(name string) (hw.ClusterSpec, error) {
 	}
 }
 
+// PickTraceGen resolves the -trace-gen flag: a streaming-generator preset
+// name (philly-6h|philly-week|helios-day|pai-day) to the trace.Config a
+// trace.Stream source is built from, applying the preset's default job
+// count when jobs is 0. Unlike PickTrace, the returned Config describes
+// an expected Poisson job count — the realized count varies around it.
+func PickTraceGen(name string, seed uint64, types []string, jobs int) (trace.Config, error) {
+	return trace.GenPreset(name, seed, types, jobs)
+}
+
 // PickTrace resolves the -trace flag spelling shared by the tools,
 // applying each trace's default job count when jobs is 0.
 func PickTrace(kind string, seed uint64, types []string, jobs int) (trace.Config, error) {

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sjtu-epcc/arena/internal/rng"
+)
+
+func TestP2ExactBelowFive(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	for _, x := range []float64{5, 1, 3} {
+		q.Add(x)
+	}
+	if got, want := q.Value(), Percentile([]float64{1, 3, 5}, 0.5); got != want {
+		t.Errorf("median of 3 samples: sketch %g, exact %g", got, want)
+	}
+	if q.Count() != 3 {
+		t.Errorf("Count = %d", q.Count())
+	}
+}
+
+func TestP2Empty(t *testing.T) {
+	if v := NewP2Quantile(0.9).Value(); v != 0 {
+		t.Errorf("empty sketch Value = %g", v)
+	}
+	if m := NewStream().Mean(); m != 0 {
+		t.Errorf("empty stream Mean = %g", m)
+	}
+}
+
+func TestP2ApproximatesQuantiles(t *testing.T) {
+	// Lognormal-ish data, the shape of JCT distributions. The sketch must
+	// land within a few percent of the exact order statistic at n=50k.
+	r := rng.Derive(7, rng.HashString("p2-test"))
+	for _, p := range []float64{0.5, 0.9} {
+		q := NewP2Quantile(p)
+		var xs []float64
+		for i := 0; i < 50000; i++ {
+			x := r.LogNormalish(1000, 2.0)
+			xs = append(xs, x)
+			q.Add(x)
+		}
+		exact := Percentile(xs, p)
+		if math.Abs(q.Value()-exact) > 0.05*exact {
+			t.Errorf("p=%g: sketch %g vs exact %g (>5%% off)", p, q.Value(), exact)
+		}
+	}
+}
+
+func TestP2Deterministic(t *testing.T) {
+	mk := func() float64 {
+		r := rng.Derive(3, rng.HashString("p2-det"))
+		q := NewP2Quantile(0.9)
+		for i := 0; i < 1000; i++ {
+			q.Add(r.Float64())
+		}
+		return q.Value()
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Errorf("same input order gave %g then %g", a, b)
+	}
+}
+
+func TestStreamMeanMatchesSliceSum(t *testing.T) {
+	// The streaming mean must be bitwise the slice mean for the same
+	// addition order — that is what keeps streaming-mode summaries
+	// comparable to exact ones.
+	r := rng.Derive(9, rng.HashString("stream-test"))
+	st := NewStream(0.5)
+	var xs []float64
+	for i := 0; i < 10000; i++ {
+		x := r.Exp(100)
+		xs = append(xs, x)
+		st.Add(x)
+	}
+	if st.Count() != len(xs) {
+		t.Fatalf("Count %d != %d", st.Count(), len(xs))
+	}
+	if st.Mean() != Mean(xs) {
+		t.Errorf("stream mean %g != slice mean %g", st.Mean(), Mean(xs))
+	}
+	if st.Quantile(0.5) == 0 {
+		t.Error("configured quantile returned 0")
+	}
+	if st.Quantile(0.9) != 0 {
+		t.Error("unconfigured quantile should return 0")
+	}
+}

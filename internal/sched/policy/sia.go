@@ -57,9 +57,14 @@ func (s *Sia) Assign(ctx *sched.Context) sched.Assignment {
 	}
 	target := map[string]sched.Alloc{}
 	jobOf := map[string]*sched.Job{}
+	// order fixes the candidate iteration below: ranging over the target
+	// map broke ties by map order, making the whole simulation
+	// nondeterministic whenever two jobs had equal marginal gain.
+	var order []string
 	for _, j := range ctx.Running {
 		target[j.Trace.ID] = j.Alloc
 		jobOf[j.Trace.ID] = j
+		order = append(order, j.Trace.ID)
 	}
 
 	// Admission: smallest feasible allocation on the perceived-best type
@@ -84,6 +89,7 @@ func (s *Sia) Assign(ctx *sched.Context) sched.Assignment {
 			asg.Place[job.Trace.ID] = best
 			target[job.Trace.ID] = best
 			jobOf[job.Trace.ID] = job
+			order = append(order, job.Trace.ID)
 			free[best.GPUType] -= best.N
 		}
 	}
@@ -94,7 +100,8 @@ func (s *Sia) Assign(ctx *sched.Context) sched.Assignment {
 	for rounds := 0; rounds < 32; rounds++ {
 		bestID := ""
 		bestGain := 0.0
-		for id, cur := range target {
+		for _, id := range order {
+			cur := target[id]
 			job := jobOf[id]
 			if job == nil || cur.N*2 > ctx.MaxPerJob || free[cur.GPUType] < cur.N {
 				continue

@@ -226,7 +226,9 @@ func (s *Server) replay(entries []json.RawMessage) error {
 			if rec.Job == nil {
 				return fmt.Errorf("server: journal record %d: submit without a job: %w", i, store.ErrCorrupt)
 			}
-			s.eng.Submit(*rec.Job)
+			// Journaled jobs carry explicit SubmitTimes; now=0 means the
+			// engine re-stages them verbatim, keeping replay bit-identical.
+			s.eng.Submit(*rec.Job, 0)
 			s.autoID++
 		case kindCancel:
 			if !s.inboxSet[rec.ID] {
@@ -388,7 +390,7 @@ func (s *Server) Submit(tj trace.Job) (trace.Job, error) {
 		return tj, err
 	}
 	s.autoID++
-	s.eng.Submit(tj)
+	s.eng.Submit(tj, s.nowLocked())
 	return tj, nil
 }
 

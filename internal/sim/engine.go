@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"github.com/sjtu-epcc/arena/internal/cluster"
-	"github.com/sjtu-epcc/arena/internal/rng"
+	"github.com/sjtu-epcc/arena/internal/metrics"
 	"github.com/sjtu-epcc/arena/internal/sched"
 	"github.com/sjtu-epcc/arena/internal/trace"
 )
@@ -27,11 +27,16 @@ type Engine struct {
 }
 
 // NewEngine validates the configuration and builds the initial world:
-// cfg.Jobs become pending submissions exactly as RunCtx stages them. An
-// empty Jobs slice is valid — the daemon starts idle and submits later.
+// cfg.Jobs become pending submissions exactly as RunCtx stages them,
+// while a cfg.Source is held back and pulled from on demand as rounds
+// reach its submission times. An empty world is valid — the daemon
+// starts idle and submits later.
 func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Policy == nil || cfg.DB == nil {
 		return nil, fmt.Errorf("sim: need a policy and a perfdb")
+	}
+	if cfg.Source != nil && len(cfg.Jobs) > 0 {
+		return nil, fmt.Errorf("sim: set Jobs or Source, not both")
 	}
 	if cfg.RoundSeconds <= 0 {
 		cfg.RoundSeconds = 300
@@ -50,16 +55,19 @@ func NewEngine(cfg Config) (*Engine, error) {
 	s := &state{
 		cfg:     cfg,
 		cluster: cl,
-		noise:   rng.Derive(cfg.Seed, rng.HashString("sim-noise")),
-		acct:    map[*sched.Job]*jobAcct{},
+		src:     cfg.Source,
+		sim:     map[*sched.Job]*jobSim{},
+	}
+	if cfg.Streaming {
+		s.jctS = metrics.NewStream(0.50, 0.90)
+		s.queueS = metrics.NewStream()
 	}
 	e := &Engine{s: s}
 	for _, tj := range cfg.Jobs {
-		w := tj.Workload
 		j := &sched.Job{
 			Trace:            tj,
 			State:            sched.StateQueued,
-			SubmittedAt:      tj.SubmitTime + cfg.Policy.ProfilePrepend(cfg.DB, w),
+			SubmittedAt:      tj.SubmitTime + cfg.Policy.ProfilePrepend(cfg.DB, tj.Workload),
 			LaunchedAt:       -1,
 			RemainingSamples: tj.TotalSamples(),
 			CurPriority:      tj.Priority,
@@ -74,9 +82,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if e.maxRounds <= 0 {
 		// Horizon: trace span plus generous drain time.
 		var last float64
-		for _, j := range cfg.Jobs {
-			if j.SubmitTime > last {
-				last = j.SubmitTime
+		if s.src != nil {
+			sp, ok := s.src.(trace.Spanner)
+			if !ok {
+				return nil, fmt.Errorf("sim: a Source without a Span needs an explicit MaxRounds")
+			}
+			last = sp.Span()
+		} else {
+			for _, j := range cfg.Jobs {
+				if j.SubmitTime > last {
+					last = j.SubmitTime
+				}
 			}
 		}
 		e.maxRounds = int((last*3+48*3600)/cfg.RoundSeconds) + 1
@@ -97,6 +113,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 			s.events = append(s.events, fc.Model.Schedule(cfg.Spec, cfg.Seed, horizon)...)
 		}
 		s.events.Sort()
+		// The event core merges the fault stream into its heap; the
+		// schedule is sorted, so one cursor entry at a time suffices.
+		if !cfg.ReferenceScan && len(s.events) > 0 {
+			s.pushFault(0)
+		}
 	}
 	return e, nil
 }
@@ -120,7 +141,11 @@ func (e *Engine) MaxRounds() int { return e.maxRounds }
 // restart.
 func (e *Engine) Round(now float64) sched.Assignment {
 	s := e.s
-	s.advanceTo(now)
+	s.advance(now)
+	// Policies read RemainingSamples directly when ranking jobs; bring
+	// every running job's record current before Assign sees it.
+	s.materializeRunning(now)
+	s.pull(now)
 	s.admit(now)
 
 	// Crash-restart backoff gates relaunch uniformly across policies:
@@ -154,30 +179,20 @@ func (e *Engine) Round(now float64) sched.Assignment {
 }
 
 // Submit registers a job after construction — the daemon's submit path.
+// `now` is the caller's current instant: a job submitted with a zero
+// SubmitTime is stamped with it, so live submissions land on the run
+// timeline without every caller re-implementing the defaulting (replay
+// paths that carry explicit SubmitTimes pass now=0 and are untouched).
 // The job's SubmittedAt gains the policy's profiling prepend exactly as
 // trace jobs do, and it is inserted keeping pending sorted by effective
 // submission time with ties in arrival order, so an incremental sequence
 // of Submits reproduces the batch constructor's stable sort and a
 // journal replay reconstructs identical state.
-func (e *Engine) Submit(tj trace.Job) *sched.Job {
-	s := e.s
-	j := &sched.Job{
-		Trace:            tj,
-		State:            sched.StateQueued,
-		SubmittedAt:      tj.SubmitTime + s.cfg.Policy.ProfilePrepend(s.cfg.DB, tj.Workload),
-		LaunchedAt:       -1,
-		RemainingSamples: tj.TotalSamples(),
-		CurPriority:      tj.Priority,
+func (e *Engine) Submit(tj trace.Job, now float64) *sched.Job {
+	if tj.SubmitTime == 0 && now > 0 {
+		tj.SubmitTime = now
 	}
-	// First index whose SubmittedAt exceeds the new job's: insert there,
-	// i.e. after every earlier-or-equal submission.
-	i := sort.Search(len(s.pending), func(i int) bool {
-		return s.pending[i].SubmittedAt > j.SubmittedAt
-	})
-	s.pending = append(s.pending, nil)
-	copy(s.pending[i+1:], s.pending[i:])
-	s.pending[i] = j
-	return j
+	return e.s.stage(tj)
 }
 
 // Cancel abandons a job at instant `now`: a pending or queued job is
@@ -191,7 +206,7 @@ func (e *Engine) Cancel(id string, now float64) bool {
 			j.State = sched.StateDropped
 			j.FinishedAt = now
 			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			s.done_ = append(s.done_, j)
+			s.retire(j)
 			return true
 		}
 	}
@@ -199,18 +214,23 @@ func (e *Engine) Cancel(id string, now float64) bool {
 		j.State = sched.StateDropped
 		j.FinishedAt = now
 		s.queued = removeJob(s.queued, j)
-		s.done_ = append(s.done_, j)
+		s.retire(j)
 		return true
 	}
 	for _, j := range s.running {
 		if j.Trace.ID == id {
+			// Account the work done up to the cancel instant, then drop
+			// the stale completion prediction before the job leaves the
+			// running set.
+			s.materialize(j, now)
+			s.invalidate(j)
 			s.cluster.Free(id)
 			j.State = sched.StateDropped
 			j.FinishedAt = now
 			j.Alloc = sched.Alloc{}
 			j.ActualThr = 0
 			s.running = removeJob(s.running, j)
-			s.done_ = append(s.done_, j)
+			s.retire(j)
 			return true
 		}
 	}
@@ -254,8 +274,32 @@ func (e *Engine) Done() bool { return e.s.done() }
 // (a daemon can snapshot metrics without stopping), but Finish at a
 // given instant is idempotent only if no rounds fire in between.
 func (e *Engine) Finish(end float64) *Result {
-	e.s.advanceTo(end)
+	e.s.advance(end)
+	e.s.materializeRunning(end)
 	return e.s.finish(end)
+}
+
+// idleBeyond reports whether the world cannot change state before
+// instant t: nothing runs or waits in the queue, and every not-yet-
+// admitted submission (staged or still inside the source) arrives after
+// t. RunCtx uses it with the horizon to stop a run whose remaining
+// arrivals all land beyond the round budget, instead of burning the
+// budget three empty rounds at a time. A source that has not been
+// peeked yet is conservatively not idle — the next pull decides.
+func (e *Engine) idleBeyond(t float64) bool {
+	s := e.s
+	if len(s.running) > 0 || len(s.queued) > 0 {
+		return false
+	}
+	if len(s.pending) > 0 && s.pending[0].SubmittedAt <= t {
+		return false
+	}
+	if s.src != nil && !s.srcDone {
+		if s.srcPeek == nil || s.srcPeek.SubmitTime <= t {
+			return false
+		}
+	}
+	return true
 }
 
 // Stats is a monitoring snapshot of the engine's live state — the
@@ -280,6 +324,11 @@ func (e *Engine) Stats() Stats {
 		WastedGPUSeconds:  s.wastedGPUSec,
 		Utilization:       s.cluster.Utilization(),
 	}
+	// In streaming mode terminal jobs are folded into counters at
+	// retirement instead of being kept on done_; both tallies below see
+	// each job exactly once.
+	st.Finished, st.Dropped, st.Failed = s.mFinished, s.mDropped, s.mFailed
+	st.Preemptions, st.Restarts = s.mPreempt, s.mRestarts
 	for _, j := range s.done_ {
 		switch j.State {
 		case sched.StateFinished:

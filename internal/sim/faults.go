@@ -27,19 +27,27 @@ func (s *state) applyFault(ev faults.Event) {
 		s.cluster.RecoverNode(ev.GPUType, ev.Node)
 	case faults.SlowStart:
 		s.cluster.SetSlow(ev.GPUType, ev.Node, ev.Factor)
-		s.refreshSlowFactors()
+		s.refreshSlowFactors(ev.Time)
 	case faults.SlowEnd:
 		s.cluster.ClearSlow(ev.GPUType, ev.Node)
-		s.refreshSlowFactors()
+		s.refreshSlowFactors(ev.Time)
 	}
 }
 
 // refreshSlowFactors recomputes every running job's straggler factor
 // from the cluster's node state (an episode may start or end under a
-// live allocation).
-func (s *state) refreshSlowFactors() {
+// live allocation). A job whose factor changed is a rate change: its
+// progress is materialized at the episode edge under the old rate and
+// its completion re-predicted under the new one.
+func (s *state) refreshSlowFactors(t float64) {
 	for _, j := range s.running {
-		j.SlowFactor = s.cluster.SlowFactor(j.Trace.ID)
+		f := s.cluster.SlowFactor(j.Trace.ID)
+		if f == j.SlowFactor {
+			continue
+		}
+		s.materialize(j, t)
+		j.SlowFactor = f
+		s.rePredict(j, t)
 	}
 }
 
@@ -50,9 +58,13 @@ func (s *state) refreshSlowFactors() {
 // checkpoint restore; past it (or under the recovery-disabled ablation)
 // it fails and every retained GPU-hour it ever earned becomes waste.
 func (s *state) preempt(t float64, j *sched.Job) {
+	// The job trained up to the crash instant; account that window before
+	// rolling it back (the rollback is what destroys it).
+	s.materialize(j, t)
+	s.invalidate(j)
 	s.cluster.Free(j.Trace.ID)
 	s.running = removeJob(s.running, j)
-	ac := s.acctFor(j)
+	ac := s.simFor(j)
 	s.goodputGPUSec -= ac.sinceCkptGPUSec
 	s.wastedGPUSec += ac.sinceCkptGPUSec
 	ac.retainedGPUSec -= ac.sinceCkptGPUSec
@@ -73,7 +85,7 @@ func (s *state) preempt(t float64, j *sched.Job) {
 		ac.retainedGPUSec = 0
 		j.State = sched.StateFailed
 		j.FinishedAt = t
-		s.done_ = append(s.done_, j)
+		s.retire(j)
 		return
 	}
 	s.recomputeSec += lostSec

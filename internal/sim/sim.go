@@ -32,7 +32,17 @@ import (
 type Config struct {
 	Spec   hw.ClusterSpec
 	Policy sched.Policy
-	Jobs   []trace.Job
+	// Jobs is the materialized trace. Kept working for every existing
+	// call site; prefer Source for anything large.
+	//
+	// Deprecated: use Source (trace.SliceSource wraps a slice).
+	Jobs []trace.Job
+	// Source streams trace jobs on demand (non-decreasing SubmitTime),
+	// so a 100k–1M-job synthetic trace never exists as a slice. Mutually
+	// exclusive with Jobs. A Source that does not implement trace.Spanner
+	// needs an explicit MaxRounds. Each Source is single-use: build a
+	// fresh one per simulation.
+	Source trace.Source
 	DB     *perfdb.DB
 
 	// RoundSeconds is the scheduling interval (paper: 5 minutes).
@@ -51,6 +61,21 @@ type Config struct {
 	// IncludeUnfinished censors unfinished jobs' JCT at the horizon and
 	// includes them (Fig. 12's "unfinished jobs included").
 	IncludeUnfinished bool
+
+	// Streaming keeps memory O(active jobs): completed jobs are folded
+	// into running aggregates (exact counts/means, P² quantile sketches
+	// for P50/P90 JCT) and discarded instead of retained. Result.Jobs is
+	// nil and Summary.JCTs/QueueTimes are nil in this mode; P50JCT and
+	// P90JCT are sketch estimates rather than exact order statistics.
+	Streaming bool
+
+	// ReferenceScan runs the legacy per-round linear-scan core instead of
+	// the event-heap core. Both cores share every progress/accounting
+	// primitive and differ only in how the next due event is found, so
+	// results are bit-identical — the parity tests prove it. The scan is
+	// O(running jobs) per event and exists as the oracle the heap is
+	// checked against.
+	ReferenceScan bool
 
 	// Faults enables deterministic fault injection: crashes preempt the
 	// jobs on the dead node and roll them back to their last modeled
@@ -109,6 +134,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		clk = clock.NewVirtual()
 	}
 	maxRounds := e.MaxRounds()
+	// The latest instant this run can ever simulate: nothing submitted
+	// after it can be admitted, so an idle engine whose next arrival lies
+	// beyond it would only burn empty rounds until the MaxRounds cap.
+	horizonEnd := float64(maxRounds+1) * cfg.RoundSeconds
 	lastNow := 0.0
 	err = clock.Tick(ctx, clk, cfg.RoundSeconds, func(round int, now float64) bool {
 		if round >= maxRounds {
@@ -117,7 +146,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		lastNow = now
 		e.Round(now)
 		cfg.Progress.Emit("sim.round", cfg.Policy.Name(), round+1, maxRounds)
-		return !(e.Done() && round > 1)
+		return !(round > 1 && (e.Done() || e.idleBeyond(horizonEnd)))
 	})
 	if err != nil {
 		return nil, err
@@ -129,118 +158,192 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 type state struct {
 	cfg     Config
 	cluster *cluster.Cluster
-	noise   *rng.SplitMix64
 
 	pending []*sched.Job // submitted in the future
 	queued  []*sched.Job
 	running []*sched.Job
-	done_   []*sched.Job
+	done_   []*sched.Job // empty in streaming mode (jobs fold into aggregates)
+
+	// Streaming trace source (nil when cfg.Jobs was staged up front).
+	src     trace.Source
+	srcPeek *trace.Job // pulled but not yet due
+	srcDone bool
 
 	thrSeries []float64
 	lastTime  float64
+
+	// Event core. heap holds completion predictions (epoch-validated,
+	// lazily deleted) and the next pending fault event; predSeq is the
+	// monotone counter that totally orders same-instant completions.
+	heap    eventHeap
+	predSeq uint64
 
 	// Fault injection (nil faults = disabled; see internal/faults).
 	faults *faults.Config
 	events faults.Schedule // materialized realization, time-ordered
 	evIdx  int             // next unapplied event
 
-	// Goodput accounting. acct is keyed by job pointer and only ever
-	// read through a specific job — never iterated — so map order cannot
-	// leak into results.
-	acct          map[*sched.Job]*jobAcct
+	// Per-job simulation record. sim is keyed by job pointer and only
+	// ever read through a specific job — never iterated — so map order
+	// cannot leak into results. Entries are deleted when jobs retire.
+	sim           map[*sched.Job]*jobSim
 	goodputGPUSec float64
 	wastedGPUSec  float64
 	recomputeSec  float64
+
+	// Streaming-mode aggregates (cfg.Streaming): what finish() would
+	// have derived from retained job records.
+	jctS, queueS                 *metrics.Stream
+	mFinished, mDropped, mFailed int
+	mDeadlineSat, mDeadlineTot   int
+	mResched                     float64
+	mLaunched                    int
+	mPreempt, mRestarts          int
 }
 
-// jobAcct tracks one job's progress relative to its last durable
-// checkpoint: the window a crash destroys, and the job's total retained
-// (checkpointed or completed) GPU-time.
-type jobAcct struct {
+// jobSim is one job's simulation record: checkpoint accounting plus the
+// anchored-progress state the event core runs on.
+//
+// The progress model: RemainingSamples is exact as of instant `anchor`;
+// between anchors the job trains at the cached effective throughput
+// `thr` (from BusyUntil onwards), so its completion instant is fully
+// determined the moment its rate last changed:
+//
+//	pred = max(anchorAtRateChange, BusyUntil) + RemainingSamples/thr
+//
+// pred is computed once per rate change (launch, rescale, migrate,
+// straggler episode edge) and is *the* completion time — materializing
+// progress at later instants never recomputes it, so completion times
+// cannot drift with how often progress is observed, and the scan and
+// heap cores agree bitwise by construction.
+type jobSim struct {
 	sinceCkptSec    float64 // productive seconds since the last checkpoint
 	sinceCkptGPUSec float64 // GPU-seconds accumulated in that window
 	retainedGPUSec  float64 // all GPU-seconds currently counted as goodput
+
+	anchor float64 // instant RemainingSamples was last materialized
+	thr    float64 // cached effective throughput (0 = not progressing)
+	pred   float64 // predicted completion instant (+Inf when never)
+	seq    uint64  // rate-change sequence: same-instant completion order
+	epoch  uint64  // invalidates stale heap entries on any rate change
 }
 
-// acctFor returns (creating on first use) a job's accounting record.
-func (s *state) acctFor(j *sched.Job) *jobAcct {
-	ac, ok := s.acct[j]
+// simFor returns (creating on first use) a job's simulation record.
+func (s *state) simFor(j *sched.Job) *jobSim {
+	js, ok := s.sim[j]
 	if !ok {
-		ac = &jobAcct{}
-		s.acct[j] = ac
+		js = &jobSim{pred: math.Inf(1)}
+		s.sim[j] = js
 	}
-	return ac
+	return js
 }
 
-// advanceTo progresses running jobs from lastTime to t, finishing jobs at
-// their exact completion times and applying fault events at theirs. Fault
-// events bound each continuous segment, so a crash preempts exactly the
-// progress made up to the crash instant — completions at the same instant
-// win (kindRank orders crashes last for the same reason).
-func (s *state) advanceTo(t float64) {
-	s.fireFaultsThrough(s.lastTime)
-	for s.lastTime < t {
-		bound := t
-		if next := s.nextFaultTime(); next < bound {
-			bound = next
-		}
-		// Earliest completion in (lastTime, bound]?
+// advance processes every due event — completions at their predicted
+// instants, fault events at theirs — up to and including t, in global
+// (time, completion-before-fault, sequence) order. Completions at the
+// same instant as a crash win (kindRank orders crashes last for the same
+// reason). Both cores perform the identical operation sequence; they
+// differ only in how the next due event is found (heap pop vs. linear
+// scan), which is what the parity tests pin down.
+func (s *state) advance(t float64) {
+	if s.cfg.ReferenceScan {
+		s.advanceScan(t)
+	} else {
+		s.advanceHeap(t)
+	}
+	s.lastTime = t
+}
+
+// advanceScan is the reference core: each iteration linearly scans the
+// running set for the earliest predicted completion and plays it against
+// the next fault event. O(running jobs) per event.
+func (s *state) advanceScan(t float64) {
+	for {
 		var next *sched.Job
-		nextAt := bound
+		var nextJS *jobSim
 		for _, j := range s.running {
-			thr := s.effectiveThr(j)
-			if thr <= 0 {
+			js := s.sim[j]
+			if js == nil || js.pred > t {
 				continue
 			}
-			start := math.Max(s.lastTime, j.BusyUntil)
-			if start >= bound {
-				continue
-			}
-			finish := start + j.RemainingSamples/thr
-			if finish <= nextAt {
-				next, nextAt = j, finish
+			if nextJS == nil || js.pred < nextJS.pred ||
+				(js.pred == nextJS.pred && js.seq < nextJS.seq) {
+				next, nextJS = j, js
 			}
 		}
-		s.progressAll(s.lastTime, nextAt)
-		s.lastTime = nextAt
-		if next != nil {
-			s.complete(next, nextAt)
-			continue
+		faultAt := math.Inf(1)
+		if s.evIdx < len(s.events) {
+			faultAt = s.events[s.evIdx].Time
 		}
-		s.fireFaultsThrough(s.lastTime)
-	}
-	s.fireFaultsThrough(t)
-}
-
-// nextFaultTime peeks the next unapplied fault event's time.
-func (s *state) nextFaultTime() float64 {
-	if s.evIdx < len(s.events) {
-		return s.events[s.evIdx].Time
-	}
-	return math.Inf(1)
-}
-
-// fireFaultsThrough applies every fault event with Time <= t.
-func (s *state) fireFaultsThrough(t float64) {
-	for s.evIdx < len(s.events) && s.events[s.evIdx].Time <= t {
-		s.applyFault(s.events[s.evIdx])
-		s.evIdx++
+		switch {
+		case nextJS != nil && nextJS.pred <= faultAt:
+			s.materialize(next, nextJS.pred)
+			s.complete(next, nextJS.pred)
+		case faultAt <= t:
+			ev := s.events[s.evIdx]
+			s.evIdx++
+			s.applyFault(ev)
+		default:
+			return
+		}
 	}
 }
 
-// progressAll advances every running job's remaining work over [a, b).
-func (s *state) progressAll(a, b float64) {
+// materialize brings a job's RemainingSamples (and checkpoint-window
+// accounting) up to date at instant t, crossing checkpoint boundaries
+// exactly as the legacy per-segment walk did. It does not touch the
+// completion prediction — see jobSim.
+func (s *state) materialize(j *sched.Job, t float64) {
+	js := s.simFor(j)
+	if t <= js.anchor {
+		return
+	}
+	start := math.Max(js.anchor, j.BusyUntil)
+	if js.thr > 0 && start < t {
+		s.progressJob(j, start, t, js.thr)
+	}
+	js.anchor = t
+}
+
+// materializeRunning refreshes every running job at a round boundary, in
+// launch order: policies read RemainingSamples directly, so the field
+// must be current when Assign runs. O(running) with O(1) float work per
+// job — this is the only per-round whole-set touch the core retains.
+func (s *state) materializeRunning(now float64) {
 	for _, j := range s.running {
-		thr := s.effectiveThr(j)
-		if thr <= 0 {
-			continue
-		}
-		start := math.Max(a, j.BusyUntil)
-		if start >= b {
-			continue
-		}
-		s.progressJob(j, start, b, thr)
+		s.materialize(j, now)
 	}
+}
+
+// rePredict re-anchors a job after a rate change at instant t: caches
+// its new effective throughput, fixes its completion prediction, and
+// (heap core) publishes the new prediction, invalidating prior entries
+// via the epoch bump. Callers must materialize progress at t first
+// (launch needs no progress; everything else does).
+func (s *state) rePredict(j *sched.Job, t float64) {
+	js := s.simFor(j)
+	js.anchor = t
+	js.thr = s.effectiveThr(j)
+	js.epoch++
+	s.predSeq++
+	js.seq = s.predSeq
+	if js.thr > 0 {
+		js.pred = math.Max(t, j.BusyUntil) + j.RemainingSamples/js.thr
+		if !s.cfg.ReferenceScan {
+			s.heap.push(event{at: js.pred, class: classCompletion, seq: js.seq, job: j, epoch: js.epoch})
+		}
+	} else {
+		js.pred = math.Inf(1)
+	}
+}
+
+// invalidate takes a job out of the progress model (preemption, eviction,
+// requeue): stale heap entries die via the epoch bump.
+func (s *state) invalidate(j *sched.Job) {
+	js := s.simFor(j)
+	js.thr = 0
+	js.pred = math.Inf(1)
+	js.epoch++
 }
 
 // progressJob advances one job over [start, b) at throughput thr,
@@ -252,7 +355,7 @@ func (s *state) progressAll(a, b float64) {
 // the failure-free model.
 func (s *state) progressJob(j *sched.Job, start, b, thr float64) {
 	n := float64(j.Alloc.N)
-	ac := s.acctFor(j)
+	ac := s.simFor(j)
 	dt := b - start
 	if s.faults != nil && s.faults.CheckpointInterval > 0 {
 		ci := s.faults.CheckpointInterval
@@ -302,10 +405,134 @@ func (s *state) complete(j *sched.Job, at float64) {
 	j.FinishedAt = at
 	s.cluster.Free(j.Trace.ID)
 	s.running = removeJob(s.running, j)
-	s.done_ = append(s.done_, j)
+	s.retire(j)
 }
 
-// admit moves submitted jobs into the queue.
+// retire takes a job that reached a terminal state (finished, dropped,
+// failed) out of the live world. Normally it joins done_ for the final
+// report; in streaming mode it is folded into the running aggregates and
+// dropped, which is what keeps memory O(active jobs).
+func (s *state) retire(j *sched.Job) {
+	delete(s.sim, j)
+	if !s.cfg.Streaming {
+		s.done_ = append(s.done_, j)
+		return
+	}
+	s.accountTerminal(j)
+}
+
+// accountTerminal folds one terminal job into the streaming aggregates —
+// the per-job arm of finish()'s summary loop, applied at retirement time
+// instead of at the end.
+func (s *state) accountTerminal(j *sched.Job) {
+	switch j.State {
+	case sched.StateFinished:
+		s.mFinished++
+		s.jctS.Add(j.FinishedAt - j.Trace.SubmitTime)
+		if j.Trace.Deadline > 0 {
+			s.mDeadlineTot++
+			if j.FinishedAt <= j.Trace.SubmitTime+j.Trace.Deadline {
+				s.mDeadlineSat++
+			}
+		}
+	case sched.StateDropped:
+		s.mDropped++
+		if j.Trace.Deadline > 0 {
+			s.mDeadlineTot++
+		}
+	case sched.StateFailed:
+		s.mFailed++
+		if j.Trace.Deadline > 0 {
+			s.mDeadlineTot++
+		}
+	}
+	if j.LaunchedAt >= 0 {
+		s.queueS.Add(j.LaunchedAt - j.Trace.SubmitTime)
+		s.mLaunched++
+		s.mResched += float64(j.Resched)
+	}
+	s.mPreempt += j.Preemptions
+	s.mRestarts += j.Restarts
+}
+
+// stage registers one trace job as a future submission, keeping pending
+// sorted by effective submission time (SubmitTime plus the policy's
+// profiling prepend) with ties in arrival order — the insertion-sort
+// equivalent of the batch constructor's stable sort, so slice staging,
+// streaming pulls and live Submits all produce identical pending order.
+func (s *state) stage(tj trace.Job) *sched.Job {
+	j := &sched.Job{
+		Trace:            tj,
+		State:            sched.StateQueued,
+		SubmittedAt:      tj.SubmitTime + s.cfg.Policy.ProfilePrepend(s.cfg.DB, tj.Workload),
+		LaunchedAt:       -1,
+		RemainingSamples: tj.TotalSamples(),
+		CurPriority:      tj.Priority,
+	}
+	// First index whose SubmittedAt exceeds the new job's: insert there,
+	// i.e. after every earlier-or-equal submission.
+	i := sort.Search(len(s.pending), func(i int) bool {
+		return s.pending[i].SubmittedAt > j.SubmittedAt
+	})
+	s.pending = append(s.pending, nil)
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = j
+	return j
+}
+
+// pull stages every source job submitted at or before now. The profiling
+// prepend only ever delays a submission, so pulling by raw SubmitTime
+// covers every job admit() could possibly admit this round.
+func (s *state) pull(now float64) {
+	for s.src != nil {
+		if s.srcPeek == nil {
+			if s.srcDone {
+				return
+			}
+			j, ok := s.src.Next()
+			if !ok {
+				s.srcDone = true
+				return
+			}
+			s.srcPeek = &j
+		}
+		if s.srcPeek.SubmitTime > now {
+			return
+		}
+		s.stage(*s.srcPeek)
+		s.srcPeek = nil
+	}
+}
+
+// drainSource stages everything the source still holds — the
+// non-streaming finish path, where the final report must see the whole
+// trace exactly as if it had been staged up front.
+func (s *state) drainSource() {
+	if s.src == nil {
+		return
+	}
+	if s.srcPeek != nil {
+		s.stage(*s.srcPeek)
+		s.srcPeek = nil
+	}
+	for !s.srcDone {
+		j, ok := s.src.Next()
+		if !ok {
+			s.srcDone = true
+			break
+		}
+		s.stage(j)
+	}
+}
+
+// srcExhausted reports whether the source has nothing left to emit.
+func (s *state) srcExhausted() bool {
+	return s.src == nil || (s.srcDone && s.srcPeek == nil)
+}
+
+// admit moves submitted jobs into the queue. pending is sorted by
+// SubmittedAt, so this touches exactly the due prefix — jobs that cannot
+// change state this round are never re-examined.
 func (s *state) admit(now float64) {
 	i := 0
 	for ; i < len(s.pending); i++ {
@@ -325,7 +552,7 @@ func (s *state) apply(now float64, asg sched.Assignment) {
 			j.State = sched.StateDropped
 			j.FinishedAt = now
 			s.queued = removeJob(s.queued, j)
-			s.done_ = append(s.done_, j)
+			s.retire(j)
 		}
 	}
 	if len(asg.Migrate) > 0 {
@@ -410,13 +637,14 @@ func (s *state) launch(now float64, j *sched.Job, target sched.Alloc) {
 	j.SlowFactor = s.cluster.SlowFactor(j.Trace.ID)
 	// A (re)launch starts a fresh checkpoint epoch from the restored state.
 	j.CheckpointRemaining = j.RemainingSamples
-	ac := s.acctFor(j)
+	ac := s.simFor(j)
 	ac.sinceCkptSec, ac.sinceCkptGPUSec = 0, 0
 	if j.LaunchedAt < 0 {
 		j.LaunchedAt = now
 	}
 	s.queued = removeJob(s.queued, j)
 	s.running = append(s.running, j)
+	s.rePredict(j, now)
 }
 
 // migrate moves a running job to a fresh allocation of the same shape
@@ -424,6 +652,7 @@ func (s *state) launch(now float64, j *sched.Job, target sched.Alloc) {
 // resume is charged, no new search. Free-then-realloc with the cluster's
 // healthy-first placement is what routes it off the degraded node.
 func (s *state) migrate(now float64, j *sched.Job) {
+	s.materialize(j, now)
 	old := j.Alloc
 	s.cluster.Free(j.Trace.ID)
 	if err := s.cluster.Alloc(j.Trace.ID, old.GPUType, old.N); err != nil {
@@ -435,6 +664,7 @@ func (s *state) migrate(now float64, j *sched.Job) {
 		j.SlowFactor = 0
 		s.running = removeJob(s.running, j)
 		s.queued = append(s.queued, j)
+		s.invalidate(j)
 		return
 	}
 	j.SlowFactor = s.cluster.SlowFactor(j.Trace.ID)
@@ -443,8 +673,9 @@ func (s *state) migrate(now float64, j *sched.Job) {
 	j.BusyUntil = math.Max(now, j.BusyUntil) + sched.CheckpointResume
 	// Migration checkpoints the job: progress so far is durable.
 	j.CheckpointRemaining = j.RemainingSamples
-	ac := s.acctFor(j)
+	ac := s.simFor(j)
 	ac.sinceCkptSec, ac.sinceCkptGPUSec = 0, 0
+	s.rePredict(j, now)
 }
 
 // rescale moves a running job to a new allocation, paying checkpoint-
@@ -455,6 +686,7 @@ func (s *state) rescale(now float64, j *sched.Job, target sched.Alloc) {
 	if actual <= 0 {
 		return
 	}
+	s.materialize(j, now)
 	old := j.Alloc
 	s.cluster.Free(j.Trace.ID)
 	if err := s.cluster.Alloc(j.Trace.ID, target.GPUType, target.N); err != nil {
@@ -467,6 +699,7 @@ func (s *state) rescale(now float64, j *sched.Job, target sched.Alloc) {
 			j.ActualThr = 0
 			s.running = removeJob(s.running, j)
 			s.queued = append(s.queued, j)
+			s.invalidate(j)
 		}
 		return
 	}
@@ -483,8 +716,9 @@ func (s *state) rescale(now float64, j *sched.Job, target sched.Alloc) {
 		0.2*s.cfg.Policy.DeployOverhead(s.cfg.DB, w, target.GPUType, target.N)
 	// Checkpoint-resume implies a durable save of progress so far.
 	j.CheckpointRemaining = j.RemainingSamples
-	ac := s.acctFor(j)
+	ac := s.simFor(j)
 	ac.sinceCkptSec, ac.sinceCkptGPUSec = 0, 0
+	s.rePredict(j, now)
 }
 
 // sampleThroughput records the instantaneous cluster throughput.
@@ -503,11 +737,19 @@ func (s *state) sampleThroughput(now float64) {
 }
 
 func (s *state) done() bool {
-	return len(s.pending) == 0 && len(s.queued) == 0 && len(s.running) == 0
+	return len(s.pending) == 0 && len(s.queued) == 0 && len(s.running) == 0 &&
+		s.srcExhausted()
 }
 
 // finish assembles the metrics summary.
 func (s *state) finish(end float64) *Result {
+	if s.cfg.Streaming {
+		return s.finishStreaming(end)
+	}
+	// In the compatibility modes the report covers the whole trace, so
+	// anything the source still holds is staged first — the result is
+	// indistinguishable from having passed the trace as a slice.
+	s.drainSource()
 	// Total counts the jobs that belong to the simulated horizon: done,
 	// running, queued, and the pending jobs whose trace submission falls
 	// inside it. A pending job submitted after the horizon (a MaxRounds
@@ -585,6 +827,94 @@ func (s *state) finish(end float64) *Result {
 	}
 	sum.Finalize()
 	return &Result{Summary: sum, Jobs: jobs, Horizon: end}
+}
+
+// finishStreaming assembles the summary from the running aggregates:
+// terminal jobs were folded in at retirement, so only the live
+// (censored) jobs and the source's unreached tail are accounted here.
+// Result.Jobs is nil and the raw JCTs/QueueTimes slices stay nil —
+// memory never grew past O(active jobs). P50/P90 are P² sketch values;
+// every count, sum and mean is exact.
+func (s *state) finishStreaming(end float64) *Result {
+	total := s.mFinished + s.mDropped + s.mFailed + len(s.running) + len(s.queued)
+	preempt, restarts := s.mPreempt, s.mRestarts
+	censor := func(j *sched.Job) {
+		s.jctS.Add(end - j.Trace.SubmitTime)
+		if j.LaunchedAt >= 0 {
+			s.queueS.Add(j.LaunchedAt - j.Trace.SubmitTime)
+			s.mLaunched++
+			s.mResched += float64(j.Resched)
+		}
+	}
+	for _, list := range [][]*sched.Job{s.running, s.queued} {
+		for _, j := range list {
+			preempt += j.Preemptions
+			restarts += j.Restarts
+			if s.cfg.IncludeUnfinished {
+				censor(j)
+			}
+		}
+	}
+	for _, j := range s.pending {
+		preempt += j.Preemptions
+		restarts += j.Restarts
+		if j.Trace.SubmitTime <= end {
+			total++
+			if s.cfg.IncludeUnfinished {
+				censor(j)
+			}
+		}
+	}
+	// Jobs the source never emitted into the world: count (and censor)
+	// the ones submitted inside the horizon, one at a time, without ever
+	// materializing them.
+	if s.srcPeek != nil {
+		if s.srcPeek.SubmitTime <= end {
+			total++
+			if s.cfg.IncludeUnfinished {
+				s.jctS.Add(end - s.srcPeek.SubmitTime)
+			}
+		}
+		s.srcPeek = nil
+	}
+	for s.src != nil && !s.srcDone {
+		tj, ok := s.src.Next()
+		if !ok {
+			s.srcDone = true
+			break
+		}
+		if tj.SubmitTime <= end {
+			total++
+			if s.cfg.IncludeUnfinished {
+				s.jctS.Add(end - tj.SubmitTime)
+			}
+		}
+	}
+	sum := metrics.Summary{
+		Policy:            s.cfg.Policy.Name(),
+		ThroughputSeries:  s.thrSeries,
+		AvgThr:            metrics.Mean(s.thrSeries),
+		PeakThr:           metrics.Max(s.thrSeries),
+		Total:             total,
+		Finished:          s.mFinished,
+		Dropped:           s.mDropped,
+		Failed:            s.mFailed,
+		DeadlineSatisfied: s.mDeadlineSat,
+		DeadlineTotal:     s.mDeadlineTot,
+		AvgJCT:            s.jctS.Mean(),
+		P50JCT:            s.jctS.Quantile(0.50),
+		P90JCT:            s.jctS.Quantile(0.90),
+		AvgQueue:          s.queueS.Mean(),
+		GoodputGPUHours:   s.goodputGPUSec / 3600,
+		WastedGPUHours:    s.wastedGPUSec / 3600,
+		RecomputeSeconds:  s.recomputeSec,
+		Preemptions:       preempt,
+		Restarts:          restarts,
+	}
+	if s.mLaunched > 0 {
+		sum.AvgReschedules = s.mResched / float64(s.mLaunched)
+	}
+	return &Result{Summary: sum, Jobs: nil, Horizon: end}
 }
 
 func (s *state) findQueued(id string) *sched.Job {

@@ -85,11 +85,22 @@ func TestSimCompletesAllJobs(t *testing.T) {
 }
 
 func TestSimDeterministic(t *testing.T) {
+	// Every policy, full-summary comparison. The elastic policies once
+	// broke marginal-gain ties by Go map iteration order — caught only
+	// because this test compares complete summaries across all five.
 	jobs := testJobs(t, 30)
-	a := runSim(t, sched.NewArena(), jobs)
-	b := runSim(t, sched.NewArena(), jobs)
-	if a.AvgJCT != b.AvgJCT || a.AvgThr != b.AvgThr || a.Finished != b.Finished {
-		t.Fatal("simulation is not deterministic")
+	for _, mk := range []func() sched.Policy{
+		func() sched.Policy { return policy.NewFCFS() },
+		func() sched.Policy { return policy.NewGavel() },
+		func() sched.Policy { return policy.NewElasticFlow() },
+		func() sched.Policy { return policy.NewSia() },
+		func() sched.Policy { return sched.NewArena() },
+	} {
+		a := runSim(t, mk(), jobs)
+		b := runSim(t, mk(), jobs)
+		if !reflect.DeepEqual(a.Summary, b.Summary) {
+			t.Errorf("%s: simulation is not deterministic", a.Policy)
+		}
 	}
 }
 

@@ -107,13 +107,15 @@ func DefaultWorkloads() []model.Workload {
 	return out
 }
 
-// Generate synthesizes a deterministic trace for the configuration.
-func Generate(cfg Config) ([]Job, error) {
+// normalized validates the configuration and resolves its defaults,
+// returning the effective workload mix. Shared by Generate and Stream so
+// both synthesis paths accept exactly the same configurations.
+func (cfg Config) normalized() (Config, []model.Workload, error) {
 	if cfg.NumJobs <= 0 || cfg.Duration <= 0 {
-		return nil, fmt.Errorf("trace: need positive NumJobs and Duration")
+		return cfg, nil, fmt.Errorf("trace: need positive NumJobs and Duration")
 	}
 	if len(cfg.GPUTypes) == 0 {
-		return nil, fmt.Errorf("trace: no GPU types")
+		return cfg, nil, fmt.Errorf("trace: no GPU types")
 	}
 	if cfg.MaxGPUs < 1 {
 		cfg.MaxGPUs = 16
@@ -128,11 +130,14 @@ func Generate(cfg Config) ([]Job, error) {
 	if len(workloads) == 0 {
 		workloads = DefaultWorkloads()
 	}
+	return cfg, workloads, nil
+}
 
-	r := rng.Derive(cfg.Seed, rng.HashString(string(cfg.Kind)))
-	// Large-model clusters are dominated by large jobs: weight the
-	// workload draw by model size so the DP/AP mismatch the paper targets
-	// is well represented (§2.2's case studies all use ≥1.3B models).
+// workloadWeights draws weights for the workload mix. Large-model
+// clusters are dominated by large jobs: weight the workload draw by
+// model size so the DP/AP mismatch the paper targets is well represented
+// (§2.2's case studies all use ≥1.3B models).
+func workloadWeights(workloads []model.Workload) ([]float64, error) {
 	weights := make([]float64, len(workloads))
 	for i, w := range workloads {
 		g, err := model.Build(w.Model)
@@ -141,42 +146,64 @@ func Generate(cfg Config) ([]Job, error) {
 		}
 		weights[i] = math.Sqrt(g.Params() / 1e9)
 	}
+	return weights, nil
+}
+
+// synthesize draws one job's attributes (everything except its arrival
+// time, which the caller supplies) from the stream r. Generate and the
+// streaming Generator share this so a job's workload/size/priority
+// mixture is identical across both synthesis paths.
+func synthesize(r *rng.SplitMix64, cfg Config, workloads []model.Workload, weights []float64, i int, submit float64) Job {
+	w := workloads[weightedChoice(r, weights)]
+
+	// Iterations: heavy-tailed, matching production duration skew.
+	iters := int(r.LogNormalish(200, 2.6) * cfg.LifespanScale)
+	if iters < 20 {
+		iters = 20
+	}
+
+	// GPU request: production traces skew small; powers of two.
+	reqGPUs := 1 << weightedChoice(r, []float64{0.18, 0.27, 0.28, 0.19, 0.08})
+	for reqGPUs > cfg.MaxGPUs {
+		reqGPUs /= 2
+	}
+
+	// Priority: most jobs are routine; few are expedited (§3.5).
+	prio := 1 + weightedChoice(r, priorityWeights(cfg.PriorityLevels))
+
+	j := Job{
+		ID:         fmt.Sprintf("%s-%04d", cfg.Kind, i),
+		SubmitTime: submit,
+		Workload:   w,
+		Iterations: iters,
+		ReqGPUs:    reqGPUs,
+		ReqType:    cfg.GPUTypes[r.Intn(len(cfg.GPUTypes))],
+		Priority:   prio,
+	}
+	if cfg.DeadlineFraction > 0 && r.Float64() < cfg.DeadlineFraction {
+		// Deadline = 3-10× a nominal ideal runtime guess derived from
+		// work volume (users pad their estimates generously).
+		nominal := j.TotalSamples() / 100 // assume ~100 samples/s
+		j.Deadline = nominal*r.Range(3, 10) + 3600
+	}
+	return j
+}
+
+// Generate synthesizes a deterministic trace for the configuration.
+func Generate(cfg Config) ([]Job, error) {
+	cfg, workloads, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	r := rng.Derive(cfg.Seed, rng.HashString(string(cfg.Kind)))
+	weights, err := workloadWeights(workloads)
+	if err != nil {
+		return nil, err
+	}
 	jobs := make([]Job, 0, cfg.NumJobs)
 	for i := 0; i < cfg.NumJobs; i++ {
 		submit := arrivalTime(cfg.Kind, r, cfg.Duration)
-		w := workloads[weightedChoice(r, weights)]
-
-		// Iterations: heavy-tailed, matching production duration skew.
-		iters := int(r.LogNormalish(200, 2.6) * cfg.LifespanScale)
-		if iters < 20 {
-			iters = 20
-		}
-
-		// GPU request: production traces skew small; powers of two.
-		reqGPUs := 1 << weightedChoice(r, []float64{0.18, 0.27, 0.28, 0.19, 0.08})
-		for reqGPUs > cfg.MaxGPUs {
-			reqGPUs /= 2
-		}
-
-		// Priority: most jobs are routine; few are expedited (§3.5).
-		prio := 1 + weightedChoice(r, priorityWeights(cfg.PriorityLevels))
-
-		j := Job{
-			ID:         fmt.Sprintf("%s-%04d", cfg.Kind, i),
-			SubmitTime: submit,
-			Workload:   w,
-			Iterations: iters,
-			ReqGPUs:    reqGPUs,
-			ReqType:    cfg.GPUTypes[r.Intn(len(cfg.GPUTypes))],
-			Priority:   prio,
-		}
-		if cfg.DeadlineFraction > 0 && r.Float64() < cfg.DeadlineFraction {
-			// Deadline = 3-10× a nominal ideal runtime guess derived from
-			// work volume (users pad their estimates generously).
-			nominal := j.TotalSamples() / 100 // assume ~100 samples/s
-			j.Deadline = nominal*r.Range(3, 10) + 3600
-		}
-		jobs = append(jobs, j)
+		jobs = append(jobs, synthesize(r, cfg, workloads, weights, i, submit))
 	}
 	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].SubmitTime < jobs[b].SubmitTime })
 	return jobs, nil

@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace drives ParseTrace with arbitrary bytes. The contract
+// under fuzzing: never panic; any rejection is a typed *ParseError
+// wrapping ErrTraceSyntax (callers match the class with errors.Is); and
+// any accepted schedule is sane — finite non-negative times in sorted
+// order, SlowStart factors inside (0, 1).
+func FuzzParseTrace(f *testing.F) {
+	// The documented grammar, one seed per form plus the comment/blank
+	// cases the scanner skips.
+	f.Add("100 crash A40 0\n")
+	f.Add("200 recover A40 0\n")
+	f.Add("300 slow A10 2 0.5 600\n")
+	f.Add("# comment\n\n  \n100 crash A40 1\n")
+	f.Add("0 crash A40 0\n0 recover A40 0\n0 slow A40 0 0.9 1\n")
+	// Truncations and field-count mistakes.
+	f.Add("100 crash A40\n")
+	f.Add("100 slow A10 2 0.5\n")
+	f.Add("100 crash A40 0 extra\n")
+	f.Add("100\n")
+	// Numeric edge cases: NaN sails past `< 0` checks, Inf past range
+	// errors, huge literals overflow ParseFloat, and a slow end time can
+	// overflow even with finite inputs.
+	f.Add("NaN crash A40 0\n")
+	f.Add("Inf crash A40 0\n")
+	f.Add("1e9999 crash A40 0\n")
+	f.Add("100 slow A10 2 NaN 600\n")
+	f.Add("100 slow A10 2 0.5 NaN\n")
+	f.Add("100 slow A10 2 0.5 Inf\n")
+	f.Add("1e308 slow A10 2 0.5 1e308\n")
+	f.Add("-1 crash A40 0\n")
+	f.Add("100 crash A40 -1\n")
+	f.Add("100 explode A40 0\n")
+	// A line longer than bufio.Scanner's 64KB token limit: the scanner
+	// itself errors, which must still surface as a *ParseError.
+	f.Add("# " + strings.Repeat("x", 70_000) + "\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		sched, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("non-ParseError failure: %T %v", err, err)
+			}
+			if !errors.Is(err, ErrTraceSyntax) {
+				t.Fatalf("ParseError does not wrap ErrTraceSyntax: %v", err)
+			}
+			if sched != nil {
+				t.Fatalf("rejected input returned a schedule of %d events", len(sched))
+			}
+			return
+		}
+		prev := math.Inf(-1)
+		for i, ev := range sched {
+			if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) || ev.Time < 0 {
+				t.Fatalf("event %d accepted with unusable time %g", i, ev.Time)
+			}
+			if ev.Time < prev {
+				t.Fatalf("schedule not sorted: event %d at %g after %g", i, ev.Time, prev)
+			}
+			prev = ev.Time
+			if ev.Node < 0 {
+				t.Fatalf("event %d accepted with negative node %d", i, ev.Node)
+			}
+			if ev.Kind == SlowStart && (math.IsNaN(ev.Factor) || ev.Factor <= 0 || ev.Factor >= 1) {
+				t.Fatalf("event %d accepted with straggler factor %g outside (0, 1)", i, ev.Factor)
+			}
+		}
+	})
+}

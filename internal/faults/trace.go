@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -41,7 +42,9 @@ func (e *ParseError) Unwrap() error { return ErrTraceSyntax }
 func ParseTrace(r io.Reader) (Schedule, error) {
 	var out Schedule
 	sc := bufio.NewScanner(r)
-	for lineNo := 1; sc.Scan(); lineNo++ {
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -53,8 +56,11 @@ func ParseTrace(r io.Reader) (Schedule, error) {
 		if len(fields) < 4 {
 			return fail(fmt.Errorf("want <time> <kind> <gpu-type> <node>, got %d fields", len(fields)))
 		}
+		// ParseFloat happily returns NaN and ±Inf; `t < 0` is false for
+		// NaN, so the finiteness check must be explicit or "NaN crash A40
+		// 0" schedules an event at an unorderable instant.
 		t, err := strconv.ParseFloat(fields[0], 64)
-		if err != nil || t < 0 {
+		if err != nil || math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
 			return fail(fmt.Errorf("bad time %q", fields[0]))
 		}
 		node, err := strconv.Atoi(fields[3])
@@ -76,13 +82,20 @@ func ParseTrace(r io.Reader) (Schedule, error) {
 			if len(fields) != 6 {
 				return fail(fmt.Errorf("slow takes exactly 6 fields, got %d", len(fields)))
 			}
+			// NaN slips through both range comparisons below — reject it
+			// by name.
 			factor, err := strconv.ParseFloat(fields[4], 64)
-			if err != nil || factor <= 0 || factor >= 1 {
+			if err != nil || math.IsNaN(factor) || factor <= 0 || factor >= 1 {
 				return fail(fmt.Errorf("bad straggler factor %q (want (0, 1))", fields[4]))
 			}
 			dur, err := strconv.ParseFloat(fields[5], 64)
-			if err != nil || dur <= 0 {
+			if err != nil || math.IsNaN(dur) || math.IsInf(dur, 0) || dur <= 0 {
 				return fail(fmt.Errorf("bad duration %q", fields[5]))
+			}
+			if math.IsInf(t+dur, 0) {
+				// Two representable values whose sum overflows: the SlowEnd
+				// event would land at +Inf and never fire.
+				return fail(fmt.Errorf("slow end time %g+%g overflows", t, dur))
 			}
 			out = append(out,
 				Event{Time: t, Kind: SlowStart, GPUType: gpuType, Node: node, Factor: factor},
@@ -92,7 +105,11 @@ func ParseTrace(r io.Reader) (Schedule, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("fault trace: %w", err)
+		// Scanner failures (a line beyond the 64KB token limit, a broken
+		// reader) are malformed input too: report them as a *ParseError at
+		// the line that broke, so the "error ⇒ *ParseError" contract holds
+		// for every failure mode.
+		return nil, &ParseError{Line: lineNo + 1, Text: "", Err: err}
 	}
 	out.Sort()
 	return out, nil

@@ -43,7 +43,20 @@ type ArenaPolicy struct {
 	// them). Nil discards warnings, keeping simulation runs quiet; the
 	// messages never influence decisions.
 	Warnf func(format string, args ...any)
+
+	// refScore switches Assign to the full per-round candidate rescans
+	// instead of the incremental score caches (see score.go). Both paths
+	// decide identically — the simulator's score parity matrix is the
+	// proof — so the flag exists as the testing oracle.
+	refScore bool
+	// ladders caches per-signature launch candidate lists; ladderKey
+	// fingerprints the inputs they were built from.
+	ladders   map[launchSig]*ladder
+	ladderKey ladderCacheKey
 }
+
+// SetReferenceScore implements ReferenceScorer.
+func (p *ArenaPolicy) SetReferenceScore(on bool) { p.refScore = on }
 
 // warnf forwards a warning to Warnf when one is installed.
 func (p *ArenaPolicy) warnf(format string, args ...any) {
@@ -164,6 +177,20 @@ func (p *ArenaPolicy) Assign(ctx *Context) Assignment {
 		return queued[a].SubmittedAt < queued[b].SubmittedAt
 	})
 	blockedPrio := p.P + 1
+	// The admission window: within one round, a failed launch is a pure
+	// function of (signature, free capacity). Free capacity only shrinks
+	// while the phase runs — the single exception, a landed launch whose
+	// staged victim shrinks moved capacity between types, clears the memo
+	// — so jobs repeating an already-failed signature skip the candidate
+	// search entirely. Deadline mode scores per-job feasibility (remaining
+	// work against the clock), so the memo stays off there.
+	var failed map[launchSig]bool
+	if !p.refScore && p.Objective != ObjDeadline {
+		failed = map[launchSig]bool{}
+	}
+	if !p.refScore {
+		p.ensureLadders(ctx)
+	}
 	for _, job := range queued {
 		if job.CurPriority > blockedPrio {
 			// A higher-priority queue is blocked; later queues must wait
@@ -175,7 +202,7 @@ func (p *ArenaPolicy) Assign(ctx *Context) Assignment {
 			asg.Drop = append(asg.Drop, job.Trace.ID)
 			continue
 		}
-		if p.DisableElastic && len(p.allowedCounts(ctx, job)) == 0 {
+		if p.DisableElastic && len(p.launchCounts(ctx, job)) == 0 {
 			// Rigid mode with a request no profiled size can serve on any
 			// allowed type: drop the job instead of letting it queue
 			// forever and head-of-line-block its priority queue. (Elastic
@@ -185,11 +212,31 @@ func (p *ArenaPolicy) Assign(ctx *Context) Assignment {
 			asg.Drop = append(asg.Drop, job.Trace.ID)
 			continue
 		}
-		depth = 0 // the search depth bounds each launch event (Alg. 1 l.13)
-		if ok := p.tryLaunch(ctx, job, free, target, &depth, &asg); !ok {
+		if failed != nil && failed[p.sigOf(job)] {
+			// Provably identical failure: a same-signature launch already
+			// ran the full search this round and nothing it depends on has
+			// grown since. The skip must still lower the blocking bar —
+			// Algorithm 1 line 9 blocks on the failed job's priority, not
+			// on whether its search was re-run.
 			if job.CurPriority < blockedPrio {
 				blockedPrio = job.CurPriority
 			}
+			continue
+		}
+		depth = 0 // the search depth bounds each launch event (Alg. 1 l.13)
+		ok, shrank := p.tryLaunch(ctx, job, free, target, &depth, &asg)
+		switch {
+		case !ok:
+			if failed != nil {
+				failed[p.sigOf(job)] = true
+			}
+			if job.CurPriority < blockedPrio {
+				blockedPrio = job.CurPriority
+			}
+		case shrank && failed != nil:
+			// Victim shrinks landed: capacity may have moved onto a type a
+			// memoized failure found full. Every memo entry is stale.
+			clear(failed)
 		}
 	}
 
@@ -298,6 +345,15 @@ func (p *ArenaPolicy) allowedCounts(ctx *Context, job *Job) []int {
 	return out
 }
 
+// launchCounts is allowedCounts through the per-signature ladder cache;
+// the reference path recomputes it each time.
+func (p *ArenaPolicy) launchCounts(ctx *Context, job *Job) []int {
+	if p.refScore {
+		return p.allowedCounts(ctx, job)
+	}
+	return p.launchLadder(ctx, job).counts
+}
+
 // ceilPow2 returns the smallest power of two ≥ n (minimum 1) — the
 // granularity the performance database profiles grids at.
 func ceilPow2(n int) int {
@@ -343,12 +399,17 @@ func (p *ArenaPolicy) hopeless(ctx *Context, job *Job) bool {
 // fails at the depth bound. (They used to be applied unconditionally,
 // so a launch that never landed still cost every victim half its GPUs
 // for nothing.)
-func (p *ArenaPolicy) tryLaunch(ctx *Context, job *Job, free map[string]int, target map[string]Alloc, depth *int, asg *Assignment) bool {
+//
+// shrank reports that the launch landed *and* staged victim shrinks with
+// it — the one case where free capacity can grow on a type other than
+// the launch's own, which invalidates the launch phase's failure memo.
+// A failed call reverts completely, so it never sets shrank.
+func (p *ArenaPolicy) tryLaunch(ctx *Context, job *Job, free map[string]int, target map[string]Alloc, depth *int, asg *Assignment) (ok, shrank bool) {
 	if alloc, ok := p.bestUnderFree(ctx, job, free); ok {
 		asg.Place[job.Trace.ID] = alloc
 		target[job.Trace.ID] = alloc
 		free[alloc.GPUType] -= alloc.N
-		return true
+		return true, false
 	}
 	// Cluster full: iteratively scale down the in-flight job that loses
 	// the least throughput per freed GPU, up to the search depth.
@@ -376,7 +437,7 @@ func (p *ArenaPolicy) tryLaunch(ctx *Context, job *Job, free map[string]int, tar
 			asg.Place[job.Trace.ID] = alloc
 			target[job.Trace.ID] = alloc
 			free[alloc.GPUType] -= alloc.N
-			return true
+			return true, true
 		}
 	}
 	// The enabling launch never landed: revert the staged shrinks in
@@ -394,7 +455,7 @@ func (p *ArenaPolicy) tryLaunch(ctx *Context, job *Job, free map[string]int, tar
 			delete(asg.Place, s.victim.Trace.ID)
 		}
 	}
-	return false
+	return false, false
 }
 
 // bestUnderFree picks the launch allocation maximizing Eq. 5's cluster
@@ -403,6 +464,24 @@ func (p *ArenaPolicy) tryLaunch(ctx *Context, job *Job, free map[string]int, tar
 // the scale-up phase, which weighs it against admitting further jobs.
 // Deadline mode additionally requires Eq. 6.
 func (p *ArenaPolicy) bestUnderFree(ctx *Context, job *Job, free map[string]int) (Alloc, bool) {
+	if !p.refScore {
+		// Fast path: iterate the signature's cached ladder — the same
+		// survivors the loops below visit, in the same order, with only
+		// the per-round checks (free capacity, deadline) left live.
+		var best Alloc
+		var bestDensity float64
+		found := false
+		for _, c := range p.launchLadder(ctx, job).cands {
+			if c.n > free[c.typ] || !p.meetsDeadline(ctx, job, c.thr) {
+				continue
+			}
+			density := c.thr / float64(c.n)
+			if !found || density > bestDensity {
+				best, bestDensity, found = Alloc{GPUType: c.typ, N: c.n}, density, true
+			}
+		}
+		return best, found
+	}
 	var best Alloc
 	var bestDensity float64
 	found := false
@@ -488,55 +567,114 @@ func (p *ArenaPolicy) scaleUp(ctx *Context, free map[string]int, target map[stri
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	for *depth < p.D {
-		var bestJob *Job
-		var bestAlloc Alloc
-		bestGain := 0.0
-		for _, id := range ids {
-			j := jobs[id]
-			cur := target[j.Trace.ID]
-			if cur.IsZero() || cur.N*2 > ctx.MaxPerJob {
-				continue
-			}
-			// Rescaling a reconfiguring job again would thrash; fresh
-			// launches (still queued) are free to size up.
-			if j.Running() && j.BusyUntil > ctx.Now {
-				continue
-			}
-			double := cur.N * 2
-			if free[cur.GPUType] < cur.N { // need cur.N more GPUs
-				continue
-			}
-			thrCur := p.PerceivedThr(ctx.DB, j.Workload(), cur.GPUType, cur.N)
-			thrNew := p.PerceivedThr(ctx.DB, j.Workload(), cur.GPUType, double)
-			if thrNew <= thrCur*1.02 {
-				continue // no meaningful gain
-			}
-			// Promising jobs only (§3.5): the restart (checkpoint-resume +
-			// search tail) must pay for itself before the job finishes.
-			if j.Running() {
-				restart := CheckpointResume + 0.2*p.DeployOverhead(ctx.DB, j.Workload(), cur.GPUType, double)
-				tCur := j.RemainingSamples / thrCur
-				tNew := j.RemainingSamples/thrNew + restart
-				if tNew >= tCur {
+
+	if p.refScore {
+		// Reference: rescan every candidate per selection.
+		for *depth < p.D {
+			var bestJob *Job
+			var bestAlloc Alloc
+			bestGain := 0.0
+			for _, id := range ids {
+				j := jobs[id]
+				cur := target[id]
+				if free[cur.GPUType] < cur.N { // need cur.N more GPUs
 					continue
 				}
+				gain, ok := p.scaleGain(ctx, j, cur)
+				if !ok {
+					continue
+				}
+				if gain > bestGain {
+					bestJob, bestAlloc, bestGain = j, Alloc{GPUType: cur.GPUType, N: cur.N * 2}, gain
+				}
 			}
-			gain := (thrNew - thrCur) / float64(cur.N)
-			if p.Objective == ObjFairness {
-				gain *= j.RemainingSamples / math.Max(thrCur, 1e-9)
+			if bestJob == nil {
+				return
 			}
-			if gain > bestGain {
-				bestJob, bestAlloc, bestGain = j, Alloc{GPUType: cur.GPUType, N: double}, gain
-			}
+			*depth++
+			old := target[bestJob.Trace.ID]
+			target[bestJob.Trace.ID] = bestAlloc
+			asg.Place[bestJob.Trace.ID] = bestAlloc
+			free[old.GPUType] -= bestAlloc.N - old.N
 		}
-		if bestJob == nil {
-			return
+		return
+	}
+
+	// Fast path: a candidate's gain moves only when that candidate is
+	// doubled, so score everything once into a max-gain heap and re-score
+	// just the selected entry after each doubling. Free capacity only
+	// shrinks in this phase, so a popped candidate that no longer fits can
+	// be discarded for good — the rescan above would skip it every
+	// remaining iteration too.
+	h := NewGainHeap(len(ids))
+	for i, id := range ids {
+		if gain, ok := p.scaleGain(ctx, jobs[id], target[id]); ok {
+			h.Update(i, gain)
+		}
+	}
+	for *depth < p.D {
+		sel := -1
+		for {
+			i, ok := h.Pop()
+			if !ok {
+				return
+			}
+			cur := target[ids[i]]
+			if free[cur.GPUType] < cur.N {
+				continue // permanently infeasible: free never grows here
+			}
+			sel = i
+			break
 		}
 		*depth++
-		old := target[bestJob.Trace.ID]
-		target[bestJob.Trace.ID] = bestAlloc
-		asg.Place[bestJob.Trace.ID] = bestAlloc
-		free[old.GPUType] -= bestAlloc.N - old.N
+		j := jobs[ids[sel]]
+		old := target[ids[sel]]
+		next := Alloc{GPUType: old.GPUType, N: old.N * 2}
+		target[ids[sel]] = next
+		asg.Place[ids[sel]] = next
+		free[old.GPUType] -= next.N - old.N
+		// Only the doubled job's gain is dirtied; re-score it alone.
+		if gain, ok := p.scaleGain(ctx, j, next); ok {
+			h.Update(sel, gain)
+		}
 	}
+}
+
+// scaleGain scores one scale-up candidate at its current target size:
+// the marginal perceived gain per held GPU of doubling it, with the
+// static eligibility gates (cap, reconfiguration cooldown, the 1.02
+// meaningful-gain floor, the §3.5 promising-job rule and the fairness
+// weighting) applied. ok=false marks an ineligible candidate. The free-
+// capacity check is deliberately not here: it is the only input that
+// moves between selections without the candidate itself being doubled.
+func (p *ArenaPolicy) scaleGain(ctx *Context, j *Job, cur Alloc) (float64, bool) {
+	if cur.IsZero() || cur.N*2 > ctx.MaxPerJob {
+		return 0, false
+	}
+	// Rescaling a reconfiguring job again would thrash; fresh
+	// launches (still queued) are free to size up.
+	if j.Running() && j.BusyUntil > ctx.Now {
+		return 0, false
+	}
+	double := cur.N * 2
+	thrCur := p.PerceivedThr(ctx.DB, j.Workload(), cur.GPUType, cur.N)
+	thrNew := p.PerceivedThr(ctx.DB, j.Workload(), cur.GPUType, double)
+	if thrNew <= thrCur*1.02 {
+		return 0, false // no meaningful gain
+	}
+	// Promising jobs only (§3.5): the restart (checkpoint-resume +
+	// search tail) must pay for itself before the job finishes.
+	if j.Running() {
+		restart := CheckpointResume + 0.2*p.DeployOverhead(ctx.DB, j.Workload(), cur.GPUType, double)
+		tCur := j.RemainingSamples / thrCur
+		tNew := j.RemainingSamples/thrNew + restart
+		if tNew >= tCur {
+			return 0, false
+		}
+	}
+	gain := (thrNew - thrCur) / float64(cur.N)
+	if p.Objective == ObjFairness {
+		gain *= j.RemainingSamples / math.Max(thrCur, 1e-9)
+	}
+	return gain, true
 }

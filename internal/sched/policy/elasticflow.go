@@ -16,7 +16,14 @@ import (
 type ElasticFlow struct {
 	// ScaleGainThreshold gates rescaling of running jobs (restart costs).
 	ScaleGainThreshold float64
+
+	// refScore runs the full per-round rescans instead of the round-
+	// scoped caches below; see sched.ReferenceScorer.
+	refScore bool
 }
+
+// SetReferenceScore implements sched.ReferenceScorer.
+func (e *ElasticFlow) SetReferenceScore(on bool) { e.refScore = on }
 
 // NewElasticFlow returns the policy.
 func NewElasticFlow() *ElasticFlow { return &ElasticFlow{ScaleGainThreshold: 1.25} }
@@ -80,23 +87,64 @@ func (e *ElasticFlow) Assign(ctx *sched.Context) sched.Assignment {
 
 	// Admission at minimum feasible size, arrival order. Shrink work per
 	// round is bounded so huge backlogs cannot stall the scheduler.
+	//
+	// The fast path adds two round-scoped caches, neither changing a
+	// decision: a (workload, requested-type) → (region, minN) memo —
+	// perceived throughputs are fixed within a round, so the region scan
+	// is a pure per-signature function — and a per-type no-victim flag.
+	// Victim sets only shrink within a round (admission shrinks targets
+	// and adds queued jobs, which the victim scan never looks at), so
+	// once a region's scan comes up empty every later scan would too;
+	// the reference's futile scan still costs one budget unit, which the
+	// fast path replicates exactly.
+	type regionKey struct {
+		w       model.Workload
+		reqType string
+	}
+	type regionVal struct {
+		typ  string
+		minN int
+	}
+	var regions map[regionKey]regionVal
+	var noVictim map[string]bool
+	if !e.refScore {
+		regions = map[regionKey]regionVal{}
+		noVictim = map[string]bool{}
+	}
 	shrinkBudget := 64
 	for _, job := range ctx.Queued {
-		typ := e.region(ctx, job)
-		minN := 0
-		for n := 1; n <= ctx.MaxPerJob; n *= 2 {
-			if e.perceived(ctx.DB, job.Workload(), typ, n) > 0 {
-				minN = n
-				break
+		var typ string
+		var minN int
+		if regions != nil {
+			key := regionKey{w: job.Trace.Workload, reqType: job.Trace.ReqType}
+			rv, ok := regions[key]
+			if !ok {
+				rv.typ = e.region(ctx, job)
+				rv.minN = e.minFeasible(ctx, job.Trace.Workload, rv.typ)
+				regions[key] = rv
 			}
+			typ, minN = rv.typ, rv.minN
+		} else {
+			typ = e.region(ctx, job)
+			minN = e.minFeasible(ctx, job.Trace.Workload, typ)
 		}
 		if minN == 0 {
 			continue
 		}
 		if free[typ] < minN && shrinkBudget > 0 {
-			// Shrink running jobs in this region to admit the newcomer
-			// (deadline-loosened ElasticFlow favours admission).
-			e.shrinkRegion(ctx, typ, minN, free, target, asg.Place, &shrinkBudget)
+			if noVictim != nil && noVictim[typ] {
+				// The reference path would re-enter shrinkRegion, spend
+				// one budget unit scanning the region, find no victim and
+				// return; skip the scan but keep the spend.
+				shrinkBudget--
+			} else {
+				// Shrink running jobs in this region to admit the newcomer
+				// (deadline-loosened ElasticFlow favours admission).
+				exhausted := e.shrinkRegion(ctx, typ, minN, free, target, asg.Place, &shrinkBudget)
+				if exhausted && noVictim != nil {
+					noVictim[typ] = true
+				}
+			}
 		}
 		if free[typ] >= minN {
 			alloc := sched.Alloc{GPUType: typ, N: minN}
@@ -110,44 +158,113 @@ func (e *ElasticFlow) Assign(ctx *sched.Context) sched.Assignment {
 
 	// Elastic scale-up: repeatedly double the job with the best marginal
 	// perceived gain per added GPU.
-	for rounds := 0; rounds < 16; rounds++ {
-		bestID := ""
-		bestGain := 0.0
-		for _, id := range order {
-			cur := target[id]
-			job := jobOf[id]
-			if job == nil || cur.N*2 > ctx.MaxPerJob || free[cur.GPUType] < cur.N {
-				continue
-			}
-			if job.Running() && job.BusyUntil > ctx.Now {
-				continue
-			}
-			thrCur := e.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N)
-			thrNew := e.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N*2)
-			if thrCur <= 0 || thrNew <= thrCur*e.ScaleGainThreshold {
-				continue
-			}
-			gain := (thrNew - thrCur) / float64(cur.N)
-			if gain > bestGain {
-				bestID, bestGain = id, gain
-			}
+	e.grow(ctx, 16, order, jobOf, target, free, asg.Place)
+	return asg
+}
+
+// minFeasible is the smallest profiled size the workload runs at on typ.
+func (e *ElasticFlow) minFeasible(ctx *sched.Context, w model.Workload, typ string) int {
+	for n := 1; n <= ctx.MaxPerJob; n *= 2 {
+		if e.perceived(ctx.DB, w, typ, n) > 0 {
+			return n
 		}
-		if bestID == "" {
+	}
+	return 0
+}
+
+// growthGain scores one growth candidate at its current target: the
+// marginal perceived gain per held GPU of doubling it, with the static
+// gates (cap, reconfiguration cooldown, the gain threshold) applied.
+// The free-capacity check stays with the caller — it is the only input
+// that moves without the candidate itself being doubled.
+func (e *ElasticFlow) growthGain(ctx *sched.Context, job *sched.Job, cur sched.Alloc) (float64, bool) {
+	if job == nil || cur.N*2 > ctx.MaxPerJob {
+		return 0, false
+	}
+	if job.Running() && job.BusyUntil > ctx.Now {
+		return 0, false
+	}
+	thrCur := e.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N)
+	thrNew := e.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N*2)
+	if thrCur <= 0 || thrNew <= thrCur*e.ScaleGainThreshold {
+		return 0, false
+	}
+	return (thrNew - thrCur) / float64(cur.N), true
+}
+
+// grow runs the bounded marginal-gain doubling loop over order. The
+// reference path rescans every candidate per selection; the fast path
+// scores them once into a max-gain heap (ties break toward the earlier
+// order index, exactly like the scan's strict `>`) and re-scores only
+// the candidate each doubling dirtied. Free capacity only shrinks here,
+// so popped candidates that no longer fit are discarded outright.
+func (e *ElasticFlow) grow(ctx *sched.Context, rounds int, order []string, jobOf map[string]*sched.Job, target map[string]sched.Alloc, free map[string]int, place map[string]sched.Alloc) {
+	if e.refScore {
+		for r := 0; r < rounds; r++ {
+			bestID := ""
+			bestGain := 0.0
+			for _, id := range order {
+				cur := target[id]
+				if free[cur.GPUType] < cur.N {
+					continue
+				}
+				gain, ok := e.growthGain(ctx, jobOf[id], cur)
+				if !ok {
+					continue
+				}
+				if gain > bestGain {
+					bestID, bestGain = id, gain
+				}
+			}
+			if bestID == "" {
+				break
+			}
+			cur := target[bestID]
+			next := sched.Alloc{GPUType: cur.GPUType, N: cur.N * 2}
+			free[cur.GPUType] -= cur.N
+			target[bestID] = next
+			place[bestID] = next
+		}
+		return
+	}
+	h := sched.NewGainHeap(len(order))
+	for i, id := range order {
+		if gain, ok := e.growthGain(ctx, jobOf[id], target[id]); ok {
+			h.Update(i, gain)
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		sel := -1
+		for {
+			i, ok := h.Pop()
+			if !ok {
+				return
+			}
+			cur := target[order[i]]
+			if free[cur.GPUType] < cur.N {
+				continue // free only shrinks: never feasible again
+			}
+			sel = i
 			break
 		}
-		cur := target[bestID]
+		id := order[sel]
+		cur := target[id]
 		next := sched.Alloc{GPUType: cur.GPUType, N: cur.N * 2}
 		free[cur.GPUType] -= cur.N
-		target[bestID] = next
-		asg.Place[bestID] = next
+		target[id] = next
+		place[id] = next
+		if gain, ok := e.growthGain(ctx, jobOf[id], next); ok {
+			h.Update(sel, gain)
+		}
 	}
-	return asg
 }
 
 // shrinkRegion halves the running jobs with the least throughput loss per
 // freed GPU until `need` GPUs are free in the region (or nothing more can
-// shrink).
-func (e *ElasticFlow) shrinkRegion(ctx *sched.Context, typ string, need int, free map[string]int, target map[string]sched.Alloc, place map[string]sched.Alloc, budget *int) {
+// shrink). It reports whether it stopped because no shrinkable victim
+// remains in the region — a condition that can only persist for the rest
+// of the round, since admission never grows a running job's target.
+func (e *ElasticFlow) shrinkRegion(ctx *sched.Context, typ string, need int, free map[string]int, target map[string]sched.Alloc, place map[string]sched.Alloc, budget *int) bool {
 	for free[typ] < need && *budget > 0 {
 		*budget--
 		var victim *sched.Job
@@ -168,7 +285,7 @@ func (e *ElasticFlow) shrinkRegion(ctx *sched.Context, typ string, need int, fre
 			}
 		}
 		if victim == nil {
-			return
+			return true
 		}
 		cur := target[victim.Trace.ID]
 		next := sched.Alloc{GPUType: typ, N: cur.N / 2}
@@ -176,6 +293,7 @@ func (e *ElasticFlow) shrinkRegion(ctx *sched.Context, typ string, need int, fre
 		place[victim.Trace.ID] = next
 		free[typ] += cur.N - next.N
 	}
+	return false
 }
 
 // PerceivedThr implements sched.Policy.

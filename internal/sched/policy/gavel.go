@@ -16,7 +16,14 @@ type Gavel struct {
 	// SwitchGainThreshold gates type migration of running jobs: moving a
 	// job pays checkpoint-resume + AP re-search, so only clear wins move.
 	SwitchGainThreshold float64
+
+	// refScore runs the full per-round rescans instead of the round-
+	// scoped demand/score cache; see sched.ReferenceScorer.
+	refScore bool
 }
+
+// SetReferenceScore implements sched.ReferenceScorer.
+func (g *Gavel) SetReferenceScore(on bool) { g.refScore = on }
 
 // NewGavel returns the policy with the default migration threshold.
 func NewGavel() *Gavel { return &Gavel{SwitchGainThreshold: 1.3} }
@@ -51,51 +58,89 @@ func (g *Gavel) Assign(ctx *sched.Context) sched.Assignment {
 
 	// Queued jobs: best-type placement, highest density first (Gavel's
 	// round solver maximizes Σ throughput).
+	//
+	// A job's demand and per-type throughputs are a pure function of its
+	// (workload, requested count) within a round, so the fast path scores
+	// each distinct pair once — a deep backlog of look-alike jobs costs
+	// one lookup apiece instead of one database walk. The density sort
+	// and the free-capacity placement loop are untouched: capacity is the
+	// input that moves as jobs place.
+	types := ctx.Cluster.GPUTypes()
+	type score struct {
+		n       int       // demand (0 = unservable)
+		bestTyp string    // preferred type (first strict-max in type order)
+		bestThr float64   // its perceived throughput
+		byType  []float64 // perceived throughput per types[i] at n
+	}
+	type scoreKey struct {
+		w   model.Workload
+		req int
+	}
+	scoreOf := func(job *sched.Job) score {
+		sc := score{n: g.demand(ctx.DB, job, ctx.MaxPerJob)}
+		if sc.n == 0 {
+			return sc
+		}
+		sc.byType = make([]float64, len(types))
+		for ti, typ := range types {
+			thr := g.perceived(ctx.DB, job.Workload(), typ, sc.n)
+			sc.byType[ti] = thr
+			if thr > sc.bestThr {
+				sc.bestTyp, sc.bestThr = typ, thr
+			}
+		}
+		return sc
+	}
+	var cache map[scoreKey]score
+	if !g.refScore {
+		cache = map[scoreKey]score{}
+	}
 	type cand struct {
 		job *sched.Job
 		thr float64
 		typ string
 		n   int
+		sc  score
 	}
 	var cands []cand
 	for _, job := range ctx.Queued {
-		n := g.demand(ctx.DB, job, ctx.MaxPerJob)
-		if n == 0 {
+		var sc score
+		if cache != nil {
+			key := scoreKey{w: job.Trace.Workload, req: job.Trace.ReqGPUs}
+			var ok bool
+			if sc, ok = cache[key]; !ok {
+				sc = scoreOf(job)
+				cache[key] = sc
+			}
+		} else {
+			sc = scoreOf(job)
+		}
+		if sc.n == 0 || sc.bestThr <= 0 {
 			continue
 		}
-		var best cand
-		for _, typ := range ctx.Cluster.GPUTypes() {
-			thr := g.perceived(ctx.DB, job.Workload(), typ, n)
-			if thr > best.thr {
-				best = cand{job: job, thr: thr, typ: typ, n: n}
-			}
-		}
-		if best.thr > 0 {
-			cands = append(cands, best)
-		}
+		cands = append(cands, cand{job: job, thr: sc.bestThr, typ: sc.bestTyp, n: sc.n, sc: sc})
 	}
 	sort.SliceStable(cands, func(a, b int) bool {
 		return cands[a].thr/float64(cands[a].n) > cands[b].thr/float64(cands[b].n)
 	})
 	for _, c := range cands {
 		// Preferred type first, then any type with capacity.
-		placed := false
 		if free[c.typ] >= c.n {
 			asg.Place[c.job.Trace.ID] = sched.Alloc{GPUType: c.typ, N: c.n}
 			free[c.typ] -= c.n
-			placed = true
-		} else {
-			for _, typ := range ctx.Cluster.GPUTypes() {
-				thr := g.perceived(ctx.DB, c.job.Workload(), typ, c.n)
-				if thr > 0 && free[typ] >= c.n {
-					asg.Place[c.job.Trace.ID] = sched.Alloc{GPUType: typ, N: c.n}
-					free[typ] -= c.n
-					placed = true
-					break
-				}
+			continue
+		}
+		for ti, typ := range types {
+			thr := c.sc.byType[ti]
+			if g.refScore {
+				thr = g.perceived(ctx.DB, c.job.Workload(), typ, c.n)
+			}
+			if thr > 0 && free[typ] >= c.n {
+				asg.Place[c.job.Trace.ID] = sched.Alloc{GPUType: typ, N: c.n}
+				free[typ] -= c.n
+				break
 			}
 		}
-		_ = placed
 	}
 
 	// Running jobs: migrate types on clear perceived wins.

@@ -26,7 +26,16 @@ type Sia struct {
 	// DisableRefinement turns off the online observation loop so the η
 	// knob alone controls estimate precision (§2.3's controlled study).
 	DisableRefinement bool
+
+	// refScore runs the full per-round rescans instead of the round-
+	// scoped caches; see sched.ReferenceScorer. Sia's caches must be
+	// round-scoped (not per-run): the perceived table is refined online
+	// between rounds by observed throughputs.
+	refScore bool
 }
+
+// SetReferenceScore implements sched.ReferenceScorer.
+func (s *Sia) SetReferenceScore(on bool) { s.refScore = on }
 
 // NewSia returns stock Sia (η = 1).
 func NewSia() *Sia { return &Sia{Eta: 1, ScaleGainThreshold: 1.4} }
@@ -69,20 +78,73 @@ func (s *Sia) Assign(ctx *sched.Context) sched.Assignment {
 
 	// Admission: smallest feasible allocation on the perceived-best type
 	// (goodput of admitting a job always beats growing one).
+	//
+	// Per type, the reference inner loop reduces to "the smallest n with
+	// positive perceived throughput, provided it fits free capacity" —
+	// larger sizes can never be reached once either check fails, because
+	// `continue` on a too-big n only meets bigger ones. The fast path
+	// precomputes that (minN, thr) ladder per workload once per round
+	// (the table is fixed within a round; observations land between
+	// rounds) and memoizes failed workloads: admission only ever shrinks
+	// free capacity, so a workload that found no feasible type cannot
+	// succeed later in the same round.
+	types := ctx.Cluster.GPUTypes()
+	type minCand struct {
+		minN int
+		thr  float64
+	}
+	var table map[model.Workload][]minCand
+	var failed map[model.Workload]bool
+	if !s.refScore {
+		table = map[model.Workload][]minCand{}
+		failed = map[model.Workload]bool{}
+	}
 	for _, job := range ctx.Queued {
 		var best sched.Alloc
 		var bestThr float64
-		for _, typ := range ctx.Cluster.GPUTypes() {
-			for n := 1; n <= ctx.MaxPerJob; n *= 2 {
-				thr := s.perceived(ctx.DB, job.Workload(), typ, n)
-				if thr <= 0 || n > free[typ] {
+		if table != nil {
+			w := job.Trace.Workload
+			if failed[w] {
+				continue
+			}
+			cands, ok := table[w]
+			if !ok {
+				cands = make([]minCand, len(types))
+				for ti, typ := range types {
+					for n := 1; n <= ctx.MaxPerJob; n *= 2 {
+						if thr := s.perceived(ctx.DB, w, typ, n); thr > 0 {
+							cands[ti] = minCand{minN: n, thr: thr}
+							break
+						}
+					}
+				}
+				table[w] = cands
+			}
+			for ti, typ := range types {
+				c := cands[ti]
+				if c.minN == 0 || c.minN > free[typ] {
 					continue
 				}
-				// Smallest n per type; across types pick best density.
-				if thr/float64(n) > bestThr {
-					best, bestThr = sched.Alloc{GPUType: typ, N: n}, thr/float64(n)
+				if c.thr/float64(c.minN) > bestThr {
+					best, bestThr = sched.Alloc{GPUType: typ, N: c.minN}, c.thr/float64(c.minN)
 				}
-				break
+			}
+			if best.IsZero() {
+				failed[w] = true
+			}
+		} else {
+			for _, typ := range types {
+				for n := 1; n <= ctx.MaxPerJob; n *= 2 {
+					thr := s.perceived(ctx.DB, job.Workload(), typ, n)
+					if thr <= 0 || n > free[typ] {
+						continue
+					}
+					// Smallest n per type; across types pick best density.
+					if thr/float64(n) > bestThr {
+						best, bestThr = sched.Alloc{GPUType: typ, N: n}, thr/float64(n)
+					}
+					break
+				}
 			}
 		}
 		if !best.IsZero() {
@@ -97,38 +159,90 @@ func (s *Sia) Assign(ctx *sched.Context) sched.Assignment {
 	// Growth: repeatedly double the job with the best perceived marginal
 	// gain per added GPU. With linear estimates the marginal never decays,
 	// so growth continues while capacity lasts.
-	for rounds := 0; rounds < 32; rounds++ {
-		bestID := ""
-		bestGain := 0.0
-		for _, id := range order {
-			cur := target[id]
-			job := jobOf[id]
-			if job == nil || cur.N*2 > ctx.MaxPerJob || free[cur.GPUType] < cur.N {
-				continue
+	s.grow(ctx, 32, order, jobOf, target, free, asg.Place)
+	return asg
+}
+
+// growthGain scores one growth candidate; see ElasticFlow.growthGain —
+// the loops share their shape, but each policy consults its own
+// perceived table and threshold.
+func (s *Sia) growthGain(ctx *sched.Context, job *sched.Job, cur sched.Alloc) (float64, bool) {
+	if job == nil || cur.N*2 > ctx.MaxPerJob {
+		return 0, false
+	}
+	if job.Running() && job.BusyUntil > ctx.Now {
+		return 0, false
+	}
+	thrCur := s.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N)
+	thrNew := s.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N*2)
+	if thrCur <= 0 || thrNew <= thrCur*s.ScaleGainThreshold {
+		return 0, false
+	}
+	return (thrNew - thrCur) / float64(cur.N), true
+}
+
+// grow is the bounded marginal-gain doubling loop: reference rescan per
+// selection, or one max-gain heap re-scoring only dirtied entries (the
+// same structure as ElasticFlow.grow; see there for the invariants).
+func (s *Sia) grow(ctx *sched.Context, rounds int, order []string, jobOf map[string]*sched.Job, target map[string]sched.Alloc, free map[string]int, place map[string]sched.Alloc) {
+	if s.refScore {
+		for r := 0; r < rounds; r++ {
+			bestID := ""
+			bestGain := 0.0
+			for _, id := range order {
+				cur := target[id]
+				if free[cur.GPUType] < cur.N {
+					continue
+				}
+				gain, ok := s.growthGain(ctx, jobOf[id], cur)
+				if !ok {
+					continue
+				}
+				if gain > bestGain {
+					bestID, bestGain = id, gain
+				}
 			}
-			if job.Running() && job.BusyUntil > ctx.Now {
-				continue
+			if bestID == "" {
+				break
 			}
-			thrCur := s.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N)
-			thrNew := s.perceived(ctx.DB, job.Workload(), cur.GPUType, cur.N*2)
-			if thrCur <= 0 || thrNew <= thrCur*s.ScaleGainThreshold {
-				continue
-			}
-			gain := (thrNew - thrCur) / float64(cur.N)
-			if gain > bestGain {
-				bestID, bestGain = id, gain
-			}
+			cur := target[bestID]
+			next := sched.Alloc{GPUType: cur.GPUType, N: cur.N * 2}
+			free[cur.GPUType] -= cur.N
+			target[bestID] = next
+			place[bestID] = next
 		}
-		if bestID == "" {
+		return
+	}
+	h := sched.NewGainHeap(len(order))
+	for i, id := range order {
+		if gain, ok := s.growthGain(ctx, jobOf[id], target[id]); ok {
+			h.Update(i, gain)
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		sel := -1
+		for {
+			i, ok := h.Pop()
+			if !ok {
+				return
+			}
+			cur := target[order[i]]
+			if free[cur.GPUType] < cur.N {
+				continue // free only shrinks: never feasible again
+			}
+			sel = i
 			break
 		}
-		cur := target[bestID]
+		id := order[sel]
+		cur := target[id]
 		next := sched.Alloc{GPUType: cur.GPUType, N: cur.N * 2}
 		free[cur.GPUType] -= cur.N
-		target[bestID] = next
-		asg.Place[bestID] = next
+		target[id] = next
+		place[id] = next
+		if gain, ok := s.growthGain(ctx, jobOf[id], next); ok {
+			h.Update(sel, gain)
+		}
 	}
-	return asg
 }
 
 // PerceivedThr implements sched.Policy.

@@ -1,0 +1,175 @@
+package schedtest
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/sjtu-epcc/arena/internal/cluster"
+	"github.com/sjtu-epcc/arena/internal/exec"
+	"github.com/sjtu-epcc/arena/internal/faults"
+	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
+	"github.com/sjtu-epcc/arena/internal/sched"
+	"github.com/sjtu-epcc/arena/internal/sched/policy"
+	"github.com/sjtu-epcc/arena/internal/sim"
+	"github.com/sjtu-epcc/arena/internal/trace"
+)
+
+var (
+	once   sync.Once
+	testDB *perfdb.DB
+	bErr   error
+)
+
+func db(t *testing.T) *perfdb.DB {
+	t.Helper()
+	once.Do(func() {
+		testDB, bErr = perfdb.Build(exec.NewEngine(42), perfdb.Options{
+			GPUTypes: []string{"A40", "A10"},
+			MaxN:     16,
+			Workloads: []model.Workload{
+				{Model: "WRes-1B", GlobalBatch: 256},
+				{Model: "GPT-1.3B", GlobalBatch: 128},
+				{Model: "GPT-2.6B", GlobalBatch: 128},
+			},
+		})
+	})
+	if bErr != nil {
+		t.Fatal(bErr)
+	}
+	return testDB
+}
+
+func seededJobs(t *testing.T, seed uint64, n int) []trace.Job {
+	t.Helper()
+	jobs, err := trace.Generate(trace.Config{
+		Kind: trace.Philly, Duration: 3 * 3600, NumJobs: n, Seed: seed,
+		GPUTypes: []string{"A40", "A10"}, MaxGPUs: 16,
+		Workloads: []model.Workload{
+			{Model: "WRes-1B", GlobalBatch: 256},
+			{Model: "GPT-1.3B", GlobalBatch: 128},
+			{Model: "GPT-2.6B", GlobalBatch: 128},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// checkedRun simulates jobs under the wrapped policy; Wrap fails the
+// test at the first round whose assignment breaks an invariant.
+func checkedRun(t *testing.T, p sched.Policy, jobs []trace.Job, opts Options, fc *faults.Config) {
+	t.Helper()
+	_, err := sim.Run(sim.Config{
+		Spec: hw.ClusterA(), Policy: Wrap(t, p, opts), Jobs: jobs, DB: db(t),
+		RoundSeconds: 300, MaxRounds: 200, IncludeUnfinished: true, Seed: 1,
+		Faults: fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyInvariantsProperty(t *testing.T) {
+	// Randomized property test: seeded trace realizations, all five
+	// policies, 200 rounds each, every round's assignment checked against
+	// the full invariant set. A 70-job backlog on ClusterA keeps the
+	// queue several times deeper than capacity, so admission failure,
+	// victim shrinking, growth and memo paths all run constantly.
+	mks := map[string]func() sched.Policy{
+		"fcfs":        func() sched.Policy { return policy.NewFCFS() },
+		"gavel":       func() sched.Policy { return policy.NewGavel() },
+		"elasticflow": func() sched.Policy { return policy.NewElasticFlow() },
+		"sia":         func() sched.Policy { return policy.NewSia() },
+		"arena":       func() sched.Policy { return sched.NewArena() },
+	}
+	for _, seed := range []uint64{7, 21, 1009} {
+		for name, mk := range mks {
+			name, mk, seed := name, mk, seed
+			t.Run(name, func(t *testing.T) {
+				checkedRun(t, mk(), seededJobs(t, seed, 70), Options{}, nil)
+			})
+		}
+	}
+}
+
+func TestRigidArenaPlacesProfiledPow2(t *testing.T) {
+	// Rigid mode (DisableElastic) pins each job to one snapped count; the
+	// checker additionally requires every placement to be a profiled
+	// power of two the policy's own perceived table knows about.
+	p := sched.NewArena()
+	p.DisableElastic = true
+	opts := Options{
+		RequirePow2: true,
+		Profiled: func(w model.Workload, gpuType string, n int) bool {
+			return p.PerceivedThr(db(t), w, gpuType, n) > 0
+		},
+	}
+	checkedRun(t, p, seededJobs(t, 7, 50), opts, nil)
+}
+
+func TestArenaMigratesOntoHealthyCapacity(t *testing.T) {
+	// Straggler injection drives arena's routeStragglers: every proposed
+	// Migrate must target a running job with a fully healthy destination
+	// for its exact shape (the engine re-allocates the same alloc).
+	fc := &faults.Config{
+		Model: &faults.Model{Default: faults.TypeFaults{
+			SlowEvery: 2 * 3600, SlowDuration: 3600,
+		}},
+		CheckpointInterval: 900,
+	}
+	checkedRun(t, sched.NewArena(), seededJobs(t, 21, 50), Options{}, fc)
+}
+
+func TestCheckFlagsViolations(t *testing.T) {
+	// The checker itself must reject hand-built bad assignments — a
+	// checker that passes everything proves nothing.
+	jobs := seededJobs(t, 7, 4)
+	// A minimal synthetic context suffices: the invariants only read
+	// Queued/Running/Cluster.
+	cl := mustCluster(t)
+	q := &sched.Job{Trace: jobs[0], State: sched.StateQueued}
+	ctx := &sched.Context{Now: 0, Queued: []*sched.Job{q}, Cluster: cl, DB: db(t), MaxPerJob: 16}
+
+	cases := map[string]sched.Assignment{
+		"unknown id": {Place: map[string]sched.Alloc{"ghost": {GPUType: "A40", N: 2}}},
+		"over-commit": {Place: map[string]sched.Alloc{
+			q.Trace.ID: {GPUType: "A40", N: cl.FreeGPUs("A40") + 1},
+		}},
+		"unknown type":   {Place: map[string]sched.Alloc{q.Trace.ID: {GPUType: "H100", N: 1}}},
+		"zero on queued": {Place: map[string]sched.Alloc{q.Trace.ID: {}}},
+		"place+drop": {
+			Place: map[string]sched.Alloc{q.Trace.ID: {GPUType: "A40", N: 1}},
+			Drop:  []string{q.Trace.ID},
+		},
+		"drop twice":      {Drop: []string{q.Trace.ID, q.Trace.ID}},
+		"migrate queued":  {Migrate: []string{q.Trace.ID}},
+		"migrate unknown": {Migrate: []string{"ghost"}},
+	}
+	for name, asg := range cases {
+		if asg.Place == nil {
+			asg.Place = map[string]sched.Alloc{}
+		}
+		if err := Check(ctx, asg, Options{}); err == nil {
+			t.Errorf("%s: accepted, want violation", name)
+		}
+	}
+	if err := Check(ctx, sched.NewAssignment(), Options{}); err != nil {
+		t.Errorf("empty assignment rejected: %v", err)
+	}
+	pow2 := sched.Assignment{Place: map[string]sched.Alloc{q.Trace.ID: {GPUType: "A40", N: 3}}}
+	if err := Check(ctx, pow2, Options{RequirePow2: true}); err == nil {
+		t.Error("non-power-of-two placement accepted under RequirePow2")
+	}
+}
+
+func mustCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.New(hw.ClusterA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}

@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"strings"
+
+	"github.com/sjtu-epcc/arena/internal/model"
+	"github.com/sjtu-epcc/arena/internal/perfdb"
+)
+
+// This file is the incremental scoring layer: the structures that make
+// per-round policy work proportional to what changed instead of to queue
+// depth. Three primitives, each invalidated only when its inputs move:
+//
+//   - launch ladders (arena): per launch-signature candidate lists —
+//     the (type, size, throughput) sequence bestUnderFree iterates, with
+//     the thr<=0 filtering and the 1.3× knee break precomputed. A
+//     signature's ladder depends only on the performance database, the
+//     per-job cap and the cluster's type order, so it is cached for the
+//     policy's lifetime and rebuilt only if one of those moves.
+//
+//   - failure memos (arena, sia): within one Assign round, a failed
+//     admission is a pure function of the job's launch signature and the
+//     free-capacity vector. Free capacity only shrinks while the phase
+//     runs (the one exception — a victim-shrink-enabled arena launch that
+//     lands — clears the memo), so an identical later job can skip the
+//     whole candidate search: it provably fails too. The memo is the
+//     bounded admission window of Algorithm 1's launch phase: only the
+//     head-of-queue prefix introducing new signatures does real scoring
+//     work, while skipped jobs still lower the blocking bar (line 9).
+//
+//   - GainHeap (arena scale-up, elasticflow/sia growth): the marginal-
+//     gain loops repeatedly take an argmax over candidates whose gain
+//     changes only when that candidate itself is doubled. The heap makes
+//     each selection O(log n) and re-scores exactly the one dirtied
+//     entry, instead of rescanning every candidate per iteration.
+//
+// Every fast path must be *bit-identical* to the full rescan it
+// replaces: the simulator's score parity matrix proves DeepEqual
+// equality of summaries and per-job outcomes across all five policies,
+// faults on/off, slice and streamed traces. Config.ReferenceScore keeps
+// the rescans alive as the oracle, mirroring ReferenceScan for the
+// event core.
+
+// ReferenceScorer is implemented by policies that maintain incremental
+// score caches with a full-rescan reference mode. The simulator's engine
+// propagates Config.ReferenceScore through it; policies without caches
+// (FCFS) simply don't implement it.
+type ReferenceScorer interface {
+	// SetReferenceScore toggles the full per-round candidate rescan
+	// (true) against the incremental score caches (false, the default).
+	// Both paths make identical decisions; the flag exists as the oracle
+	// the parity tests check the caches against.
+	SetReferenceScore(on bool)
+}
+
+// launchSig identifies the inputs of one launch-admission decision that
+// come from the job itself. Two queued jobs with equal signatures see
+// identical candidate ladders, so under equal free capacity their
+// admission succeeds or fails identically. Workload is a comparable
+// (model, batch) struct; the request fields participate only under the
+// ablations that read them.
+type launchSig struct {
+	w       model.Workload
+	reqType string // set only under DisableHetero (pins allowedTypes)
+	reqGPUs int    // set only under DisableElastic (pins allowedCounts)
+}
+
+// ladderCand is one knee-surviving launch candidate.
+type ladderCand struct {
+	typ string
+	n   int
+	thr float64
+}
+
+// ladder is a signature's launch candidate list in exactly the order
+// bestUnderFree's reference loop visits survivors: allowedTypes outer,
+// allowedCounts inner, zero-throughput entries dropped, each type
+// truncated at the first knee-rule violation. Free-capacity and deadline
+// checks stay at use time — they are the inputs that move per round.
+type ladder struct {
+	cands []ladderCand
+	// counts is the allowedCounts result (nil in rigid mode when no
+	// profiled size fits) — the launch loop's drop check reads it.
+	counts []int
+}
+
+// ladderCacheKey fingerprints everything a ladder depends on besides the
+// signature. The database pointer stands in for its contents: arena's
+// perceived throughputs are static per DB (no online refinement), so the
+// same pointer means the same table.
+type ladderCacheKey struct {
+	db    *perfdb.DB
+	maxN  int
+	types string
+}
+
+// ensureLadders resets the ladder cache when its inputs moved (different
+// database, per-job cap or cluster type order — e.g. the policy instance
+// reused across simulations). Called once per Assign.
+func (p *ArenaPolicy) ensureLadders(ctx *Context) {
+	key := ladderCacheKey{
+		db:    ctx.DB,
+		maxN:  ctx.MaxPerJob,
+		types: strings.Join(ctx.Cluster.GPUTypes(), "\x00"),
+	}
+	if p.ladders == nil || p.ladderKey != key {
+		p.ladders = map[launchSig]*ladder{}
+		p.ladderKey = key
+	}
+}
+
+// sigOf builds the job's launch signature under the active ablations.
+func (p *ArenaPolicy) sigOf(job *Job) launchSig {
+	sig := launchSig{w: job.Trace.Workload}
+	if p.DisableHetero {
+		sig.reqType = job.Trace.ReqType
+	}
+	if p.DisableElastic {
+		sig.reqGPUs = job.Trace.ReqGPUs
+	}
+	return sig
+}
+
+// launchLadder returns the signature's cached candidate ladder, building
+// it on first use with the very loops the reference path runs.
+func (p *ArenaPolicy) launchLadder(ctx *Context, job *Job) *ladder {
+	sig := p.sigOf(job)
+	if lad, ok := p.ladders[sig]; ok {
+		return lad
+	}
+	lad := &ladder{counts: p.allowedCounts(ctx, job)}
+	for _, typ := range p.allowedTypes(ctx, job) {
+		var prevThr float64
+		for _, n := range lad.counts {
+			thr := p.PerceivedThr(ctx.DB, job.Workload(), typ, n)
+			if thr <= 0 {
+				continue
+			}
+			if prevThr > 0 && thr < prevThr*1.3 {
+				break
+			}
+			prevThr = thr
+			lad.cands = append(lad.cands, ladderCand{typ: typ, n: n, thr: thr})
+		}
+	}
+	p.ladders[sig] = lad
+	return lad
+}
+
+// GainHeap selects repeated argmaxes over per-candidate marginal gains,
+// breaking ties toward the lowest index — exactly what an index-order
+// scan with a strict `>` comparison and a 0.0 floor returns, so a scan
+// loop can be replaced by Pop without changing any decision. Candidates
+// are dense indices into a caller-side slice; Update re-scores one entry
+// (stale copies are discarded lazily on Pop via a per-index version).
+//
+// The intended discipline, shared by every marginal-gain loop here:
+// gains that depend only on the candidate's own target size are pushed
+// once and re-pushed only when that candidate is doubled; checks against
+// free capacity stay at Pop time, and because free capacity only shrinks
+// within a phase, a candidate that fails them can be discarded outright
+// rather than re-queued.
+type GainHeap struct {
+	entries []gainEntry
+	version []int
+}
+
+type gainEntry struct {
+	gain    float64
+	idx     int
+	version int
+}
+
+// NewGainHeap returns a heap over candidate indices [0, n).
+func NewGainHeap(n int) *GainHeap {
+	return &GainHeap{version: make([]int, n)}
+}
+
+// Update (re-)scores candidate idx. Non-positive gains are recorded as
+// "not selectable" — the scan semantics this replaces start the argmax
+// at 0.0 with a strict comparison — so any queued stale entry is
+// invalidated and nothing is pushed.
+func (h *GainHeap) Update(idx int, gain float64) {
+	h.version[idx]++
+	if gain <= 0 {
+		return
+	}
+	h.entries = append(h.entries, gainEntry{gain: gain, idx: idx, version: h.version[idx]})
+	h.siftUp(len(h.entries) - 1)
+}
+
+// Pop removes and returns the current best candidate index, or ok=false
+// when no selectable candidate remains.
+func (h *GainHeap) Pop() (idx int, ok bool) {
+	for len(h.entries) > 0 {
+		top := h.entries[0]
+		last := len(h.entries) - 1
+		h.entries[0] = h.entries[last]
+		h.entries = h.entries[:last]
+		if len(h.entries) > 0 {
+			h.siftDown(0)
+		}
+		if top.version == h.version[top.idx] {
+			return top.idx, true
+		}
+		// Stale: the candidate was re-scored after this entry was pushed.
+	}
+	return 0, false
+}
+
+// before is the heap order: higher gain first, then lower index — the
+// tie-break an index-order scan with strict `>` produces.
+func (h *GainHeap) before(a, b gainEntry) bool {
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	return a.idx < b.idx
+}
+
+func (h *GainHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(h.entries[i], h.entries[parent]) {
+			return
+		}
+		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		i = parent
+	}
+}
+
+func (h *GainHeap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		best := i
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < n && h.before(h.entries[c], h.entries[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			return
+		}
+		h.entries[i], h.entries[best] = h.entries[best], h.entries[i]
+		i = best
+	}
+}

@@ -44,6 +44,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.MaxPerJob <= 0 {
 		cfg.MaxPerJob = cfg.DB.MaxN
 	}
+	// Policies with incremental score caches expose a reference-rescan
+	// toggle; propagate the oracle flag (a no-op for cacheless policies).
+	if rs, ok := cfg.Policy.(sched.ReferenceScorer); ok {
+		rs.SetReferenceScore(cfg.ReferenceScore)
+	}
 	cl, err := cluster.New(cfg.Spec)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"github.com/sjtu-epcc/arena/internal/core"
 	"github.com/sjtu-epcc/arena/internal/faults"
 	"github.com/sjtu-epcc/arena/internal/hw"
+	"github.com/sjtu-epcc/arena/internal/model"
 	"github.com/sjtu-epcc/arena/internal/sched"
 	"github.com/sjtu-epcc/arena/internal/sched/policy"
 	"github.com/sjtu-epcc/arena/internal/trace"
@@ -32,40 +33,82 @@ func parityPolicies() map[string]func() sched.Policy {
 	}
 }
 
+// runParityCfg is the shared divergence check: build a fresh config per
+// run (policies carry state and Sources are single-use, so mkCfg must
+// return independent configs), flip the oracle flag via set, and fail on
+// any difference between reference and fast results.
+func runParityCfg(t *testing.T, name string, mkCfg func() Config, set func(*Config, bool)) (*Result, *Result) {
+	t.Helper()
+	refCfg := mkCfg()
+	set(&refCfg, true)
+	ref, err := Run(refCfg)
+	if err != nil {
+		t.Fatalf("%s: reference run: %v", name, err)
+	}
+	fastCfg := mkCfg()
+	set(&fastCfg, false)
+	fast, err := Run(fastCfg)
+	if err != nil {
+		t.Fatalf("%s: fast run: %v", name, err)
+	}
+	if !reflect.DeepEqual(ref.Summary, fast.Summary) {
+		t.Errorf("%s: summaries diverge between reference and fast paths:\nref:  %+v\nfast: %+v",
+			name, ref.Summary, fast.Summary)
+	}
+	if !reflect.DeepEqual(outcomes(ref), outcomes(fast)) {
+		t.Errorf("%s: per-job outcomes diverge between reference and fast paths", name)
+	}
+	return ref, fast
+}
+
+// setScan flips the event-core oracle; setScore flips the policy-scoring
+// oracle. Each parity axis is tested with the other axis at its default.
+func setScan(cfg *Config, ref bool)  { cfg.ReferenceScan = ref }
+func setScore(cfg *Config, ref bool) { cfg.ReferenceScore = ref }
+
 // runParity runs cfg through both cores (a fresh policy each) and fails
 // on any divergence.
 func runParity(t *testing.T, name string, mk func() sched.Policy, cfg Config) (*Result, *Result) {
 	t.Helper()
-	cfg.Policy = mk()
-	cfg.ReferenceScan = true
-	scan, err := Run(cfg)
+	return runParityCfg(t, name, func() Config {
+		c := cfg
+		c.Policy = mk()
+		return c
+	}, setScan)
+}
+
+// phillyStream returns a fresh streamed philly-6h source over the test
+// database's workloads. Sources are single-use: call once per run.
+func phillyStream(t *testing.T) *trace.Generator {
+	t.Helper()
+	cfg := trace.PhillySixHour(9, []string{"A40", "A10"})
+	cfg.Workloads = []model.Workload{
+		{Model: "WRes-1B", GlobalBatch: 256},
+		{Model: "GPT-1.3B", GlobalBatch: 128},
+		{Model: "GPT-2.6B", GlobalBatch: 128},
+	}
+	src, err := trace.Stream(cfg)
 	if err != nil {
-		t.Fatalf("%s: scan core: %v", name, err)
+		t.Fatal(err)
 	}
-	cfg.Policy = mk()
-	cfg.ReferenceScan = false
-	heap, err := Run(cfg)
-	if err != nil {
-		t.Fatalf("%s: heap core: %v", name, err)
+	return src
+}
+
+// parityFaults is the random fault model both parity matrices share.
+func parityFaults() *faults.Config {
+	return &faults.Config{
+		Model:              &faults.Model{Default: faults.TypeFaults{MTBF: 2 * 3600, MTTR: 1800, SlowEvery: 4 * 3600}},
+		CheckpointInterval: 900,
 	}
-	if !reflect.DeepEqual(scan.Summary, heap.Summary) {
-		t.Errorf("%s: summaries diverge between scan and heap cores:\nscan: %+v\nheap: %+v",
-			name, scan.Summary, heap.Summary)
-	}
-	if !reflect.DeepEqual(outcomes(scan), outcomes(heap)) {
-		t.Errorf("%s: per-job outcomes diverge between scan and heap cores", name)
-	}
-	return scan, heap
 }
 
 func TestScanHeapParityMatrix(t *testing.T) {
 	// Every policy, with and without the random fault model, on the
-	// standard 40-job trace.
+	// standard 40-job slice trace AND a streamed philly-6h source —
+	// streamed arrival staging exercises a different engine path (pull-on-
+	// demand vs pre-staged pending), so the cores must agree on both.
 	jobs := testJobs(t, 40)
-	fm := &faults.Config{
-		Model:              &faults.Model{Default: faults.TypeFaults{MTBF: 2 * 3600, MTTR: 1800, SlowEvery: 4 * 3600}},
-		CheckpointInterval: 900,
-	}
+	fm := parityFaults()
 	for name, mk := range parityPolicies() {
 		base := Config{
 			Spec: hw.ClusterA(), Jobs: jobs, DB: db(t),
@@ -76,6 +119,99 @@ func TestScanHeapParityMatrix(t *testing.T) {
 		withFaults.Faults = fm
 		withFaults.MaxRounds = 400
 		runParity(t, name+"+faults", mk, withFaults)
+		for _, faulted := range []bool{false, true} {
+			faulted := faulted
+			label := name + "+stream"
+			if faulted {
+				label += "+faults"
+			}
+			runParityCfg(t, label, func() Config {
+				c := Config{
+					Spec: hw.ClusterA(), Source: phillyStream(t), DB: db(t),
+					RoundSeconds: 300, MaxRounds: 400,
+					IncludeUnfinished: true, Seed: 1, Policy: mk(),
+				}
+				if faulted {
+					c.Faults = fm
+				}
+				return c
+			}, setScan)
+		}
+	}
+}
+
+func TestScoreParityMatrix(t *testing.T) {
+	// The incremental-scoring twin of TestScanHeapParityMatrix: every
+	// policy's score caches (launch ladders, failure memos, gain heaps,
+	// round-scoped score tables) against its full-rescan reference, across
+	// faults on/off and slice + streamed sources. Bit-identity, not
+	// tolerance: both paths are required to run the same float operations
+	// in the same order on the entries they actually score.
+	jobs := testJobs(t, 40)
+	fm := parityFaults()
+	for name, mk := range parityPolicies() {
+		for _, faulted := range []bool{false, true} {
+			faulted := faulted
+			suffix := ""
+			if faulted {
+				suffix = "+faults"
+			}
+			runParityCfg(t, name+suffix, func() Config {
+				c := Config{
+					Spec: hw.ClusterA(), Jobs: jobs, DB: db(t),
+					RoundSeconds: 300, IncludeUnfinished: true, Seed: 1, Policy: mk(),
+				}
+				if faulted {
+					c.Faults = fm
+					c.MaxRounds = 400
+				}
+				return c
+			}, setScore)
+			runParityCfg(t, name+"+stream"+suffix, func() Config {
+				c := Config{
+					Spec: hw.ClusterA(), Source: phillyStream(t), DB: db(t),
+					RoundSeconds: 300, MaxRounds: 400,
+					IncludeUnfinished: true, Seed: 1, Policy: mk(),
+				}
+				if faulted {
+					c.Faults = fm
+				}
+				return c
+			}, setScore)
+		}
+	}
+}
+
+func TestScoreParityArenaVariants(t *testing.T) {
+	// Arena's ladders and memos key off the ablation knobs (DisableHetero
+	// pins types, DisableElastic pins counts, ObjDeadline disables the
+	// failure memo entirely) — every variant must match its own reference.
+	jobs := testJobs(t, 40)
+	for name, mk := range arenaVariants() {
+		mk := mk
+		runParityCfg(t, name, func() Config {
+			return Config{
+				Spec: hw.ClusterA(), Jobs: jobs, DB: db(t),
+				RoundSeconds: 300, IncludeUnfinished: true, Seed: 1, Policy: mk(),
+			}
+		}, setScore)
+	}
+}
+
+func TestScoreParityDeepQueue(t *testing.T) {
+	// A backlog several times cluster capacity: admission failures, victim
+	// shrinks and memo clears all fire repeatedly — the regime the failure
+	// memo and admission window exist for, and the easiest place for a
+	// subtly unsound cache to diverge.
+	jobs := testJobs(t, 120)
+	for _, name := range []string{"arena", "sia", "elasticflow"} {
+		mk := parityPolicies()[name]
+		runParityCfg(t, name+"+deep", func() Config {
+			return Config{
+				Spec: hw.ClusterA(), Jobs: jobs, DB: db(t),
+				RoundSeconds: 300, IncludeUnfinished: true, Seed: 1, Policy: mk(),
+			}
+		}, setScore)
 	}
 }
 

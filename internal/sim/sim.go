@@ -77,6 +77,14 @@ type Config struct {
 	// checked against.
 	ReferenceScan bool
 
+	// ReferenceScore runs the policies' full per-round candidate rescans
+	// instead of their incremental score caches (launch ladders, failure
+	// memos, marginal-gain heaps). Both paths make identical decisions —
+	// the score parity tests prove it — so the flag exists, like
+	// ReferenceScan, purely as the oracle the caches are checked against.
+	// Policies without caches (FCFS) ignore it.
+	ReferenceScore bool
+
 	// Faults enables deterministic fault injection: crashes preempt the
 	// jobs on the dead node and roll them back to their last modeled
 	// checkpoint, stragglers degrade achieved throughput, and the Summary

@@ -1,0 +1,430 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder keeps Go's randomized map iteration order from escaping
+// into scheduling, planning or serialization output — the PR 8 bug
+// class: the elasticflow and sia policies once picked victim jobs by
+// ranging over a map and keeping the first candidate that tied on
+// score, so the schedule differed run to run until a parity test
+// caught it.
+//
+// A `range` over a map is accepted only when the analyzer can see the
+// body is order-insensitive — a commutative fold. Every statement must
+// be one of:
+//
+//   - a write whose destination is local to the range body (range
+//     variables included), or a map index assignment (distinct keys
+//     commute);
+//   - an integer accumulation into outer state (`+= -= |= &= ^= *=`,
+//     `++ --`): order-independent by associativity. Float accumulation
+//     is flagged — float addition is not associative, so iteration
+//     order changes the bits;
+//   - the collect-then-sort idiom: `s = append(s, x)` into an outer
+//     slice that a statement after the range (in any enclosing block)
+//     passes to sort.* or slices.Sort* — the sort erases insertion
+//     order, provided its comparator is total, which is the stablesort
+//     analyzer's department;
+//   - a method call on a range-local receiver whose arguments touch no
+//     outer variables (`sh.mu.RLock()`);
+//   - `delete(m, k)`, `continue`, or control flow (if/for/switch/block)
+//     whose nested statements all qualify.
+//
+// Everything else — early return or break, channel sends, calls with
+// possible effects, plain assignment to outer variables (the
+// keep-the-best-tie pattern) — is a finding: iterate sorted keys
+// instead, or suppress with //arena:allow maporder <reason> when the
+// fold is provably commutative beyond the analyzer's sight.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "report map ranges whose iteration order can escape into output; " +
+		"iterate sorted keys or keep the fold commutative",
+	Scope: []string{
+		"internal/sched", "internal/sim", "internal/planner",
+		"internal/faults", "internal/trace", "internal/evalcache",
+		"internal/server",
+	},
+	SkipTests: true,
+	Run:       runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass, rs) {
+				return true
+			}
+			w := &mapOrderWalker{pass: pass, rs: rs, parents: parents}
+			w.walkStmt(rs.Body, 0)
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapRange(pass *Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// buildParents records each node's enclosing node for one file.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+type mapOrderWalker struct {
+	pass    *Pass
+	rs      *ast.RangeStmt
+	parents map[ast.Node]ast.Node
+}
+
+func (w *mapOrderWalker) report(pos token.Pos, why string) {
+	w.pass.Reportf(pos, "map iteration order escapes: %s; iterate sorted keys or keep the fold commutative", why)
+}
+
+// isLocal reports whether the identifier's object is declared within
+// the range statement (range variables included).
+func (w *mapOrderWalker) isLocal(id *ast.Ident) bool {
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = w.pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return id.Name == "_"
+	}
+	return obj.Pos() >= w.rs.Pos() && obj.Pos() <= w.rs.End()
+}
+
+// sortedLater reports whether, after the range statement, some
+// statement in an enclosing block passes dst (matched syntactically,
+// so selector chains like d.Stages work) to a sort.* or slices.*
+// function.
+func (w *mapOrderWalker) sortedLater(dst ast.Expr) bool {
+	want := types.ExprString(ast.Unparen(dst))
+	child := ast.Node(w.rs)
+	for parent := w.parents[child]; parent != nil; child, parent = parent, w.parents[parent] {
+		block, ok := parent.(*ast.BlockStmt)
+		if !ok {
+			if _, isFunc := parent.(*ast.FuncLit); isFunc {
+				break
+			}
+			if _, isFunc := parent.(*ast.FuncDecl); isFunc {
+				break
+			}
+			continue
+		}
+		past := false
+		for _, st := range block.List {
+			if st == child {
+				past = true
+				continue
+			}
+			if past && stmtSorts(w.pass, st, want) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stmtSorts reports whether st calls sort.* or slices.* with an
+// argument spelled like want.
+func stmtSorts(pass *Pass, st ast.Stmt, want string) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(ast.Unparen(arg)) == want {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// walkStmt enforces the commutative-fold rules on one statement.
+// breakable counts enclosing for/switch/select levels inside the range
+// body, so a plain `break` that exits the map range itself is caught.
+func (w *mapOrderWalker) walkStmt(st ast.Stmt, breakable int) {
+	switch s := st.(type) {
+	case nil, *ast.EmptyStmt, *ast.DeclStmt:
+		// Declarations create range-locals; reads are unrestricted.
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			w.walkStmt(inner, breakable)
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, breakable)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, breakable)
+		w.walkStmt(s.Body, breakable)
+		w.walkStmt(s.Else, breakable)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init, breakable)
+		w.walkStmt(s.Post, breakable)
+		w.walkStmt(s.Body, breakable+1)
+	case *ast.RangeStmt:
+		w.checkAssignTargets(s, breakable)
+		if isMapRange(w.pass, s) {
+			return // analyzed separately with its own, tighter local set
+		}
+		w.walkStmt(s.Body, breakable+1)
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, breakable)
+		w.walkStmt(s.Body, breakable+1)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, breakable)
+		w.walkStmt(s.Assign, breakable)
+		w.walkStmt(s.Body, breakable+1)
+	case *ast.CaseClause:
+		for _, inner := range s.Body {
+			w.walkStmt(inner, breakable)
+		}
+	case *ast.BranchStmt:
+		switch {
+		case s.Label != nil:
+			w.report(s.Pos(), "labeled "+s.Tok.String()+" exits the map range early")
+		case s.Tok == token.BREAK && breakable == 0:
+			w.report(s.Pos(), "break exits the map range early, keeping an order-dependent prefix")
+		case s.Tok == token.GOTO:
+			w.report(s.Pos(), "goto inside a map range")
+		}
+	case *ast.ReturnStmt:
+		w.report(s.Pos(), "return inside a map range makes the result depend on which key is visited first")
+	case *ast.SendStmt:
+		w.report(s.Pos(), "channel send in iteration order")
+	case *ast.GoStmt:
+		w.report(s.Pos(), "goroutine launched per key observes iteration order")
+	case *ast.DeferStmt:
+		w.report(s.Pos(), "defers run in (reverse) iteration order")
+	case *ast.SelectStmt:
+		w.report(s.Pos(), "select inside a map range")
+	case *ast.AssignStmt:
+		w.checkAssign(s)
+	case *ast.IncDecStmt:
+		w.checkIncDec(s)
+	case *ast.ExprStmt:
+		w.checkExprStmt(s)
+	default:
+		w.report(st.Pos(), "statement the analyzer cannot prove order-insensitive")
+	}
+}
+
+// checkAssignTargets flags a nested range that assigns (Tok==ASSIGN)
+// its key/value into outer variables.
+func (w *mapOrderWalker) checkAssignTargets(s *ast.RangeStmt, _ int) {
+	if s.Tok != token.ASSIGN {
+		return
+	}
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := e.(*ast.Ident); ok && !w.isLocal(id) {
+			w.report(id.Pos(), fmt.Sprintf("range assigns outer variable %q in iteration order", id.Name))
+		}
+	}
+}
+
+func (w *mapOrderWalker) checkAssign(s *ast.AssignStmt) {
+	if s.Tok == token.DEFINE {
+		return // declares range-locals
+	}
+	// The collect-then-sort idiom: `s = append(s, x)` is fine when a
+	// later statement sorts s, erasing the insertion order.
+	if s.Tok == token.ASSIGN && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && len(call.Args) >= 1 &&
+			isBuiltin(w.pass, call.Fun, "append") &&
+			types.ExprString(ast.Unparen(call.Args[0])) == types.ExprString(ast.Unparen(s.Lhs[0])) {
+			if root := exprRoot(s.Lhs[0]); root != nil && w.isLocal(root) {
+				return
+			}
+			if w.sortedLater(s.Lhs[0]) {
+				return
+			}
+			w.report(s.Lhs[0].Pos(), fmt.Sprintf(
+				"elements appended to %q in map iteration order are never sorted afterwards",
+				types.ExprString(ast.Unparen(s.Lhs[0]))))
+			return
+		}
+	}
+	for _, lhs := range s.Lhs {
+		w.checkWrite(lhs, s.Tok)
+	}
+}
+
+// exprRoot returns the base identifier of an lvalue chain, or nil.
+func exprRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (w *mapOrderWalker) checkIncDec(s *ast.IncDecStmt) {
+	// ++/-- on an outer integer is a commutative count; anything else
+	// goes through the same gate as compound assignment.
+	tok := token.ADD_ASSIGN
+	if s.Tok == token.DEC {
+		tok = token.SUB_ASSIGN
+	}
+	w.checkWrite(s.X, tok)
+}
+
+// commutativeOps are compound-assignment operators whose folds are
+// order-independent on integers.
+var commutativeOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.OR_ASSIGN: true, token.AND_ASSIGN: true, token.XOR_ASSIGN: true,
+}
+
+// checkWrite gates one write destination.
+func (w *mapOrderWalker) checkWrite(lhs ast.Expr, tok token.Token) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if w.isLocal(e) {
+			return
+		}
+		if commutativeOps[tok] {
+			if t := w.pass.TypesInfo.TypeOf(e); t != nil && isIntegerType(t) {
+				return
+			}
+			w.report(lhs.Pos(), fmt.Sprintf(
+				"non-integer accumulation into outer %q is order-dependent (float addition is not associative)", e.Name))
+			return
+		}
+		w.report(lhs.Pos(), fmt.Sprintf(
+			"plain assignment to outer variable %q keeps an iteration-order-dependent winner", e.Name))
+	case *ast.IndexExpr:
+		if t := w.pass.TypesInfo.TypeOf(e.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return // distinct map keys commute
+			}
+		}
+		w.checkWrite(e.X, token.ASSIGN)
+	case *ast.SelectorExpr:
+		w.checkWrite(e.X, token.ASSIGN)
+	case *ast.StarExpr:
+		w.report(lhs.Pos(), "write through a pointer may mutate state shared beyond the range")
+	default:
+		w.report(lhs.Pos(), "write destination the analyzer cannot prove range-local")
+	}
+}
+
+// checkExprStmt gates bare calls. delete on a map commutes; a method
+// call on a range-local receiver with no outer-variable arguments
+// (`sh.mu.RLock()`, `j.recompute(k)`) cannot carry iteration order
+// beyond per-key state. Everything else — package functions (fmt.*,
+// io writes), closures over outer state, calls with outer arguments —
+// may carry iteration order into shared state or output.
+func (w *mapOrderWalker) checkExprStmt(s *ast.ExprStmt) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if isBuiltin(w.pass, call.Fun, "delete") {
+		return
+	}
+	if w.isLocalReceiverCall(call) {
+		return
+	}
+	w.report(s.Pos(), "call with possible effects inside a map range")
+}
+
+// isLocalReceiverCall reports whether call is a method call rooted in
+// a range-local receiver whose arguments reference no outer variables.
+func (w *mapOrderWalker) isLocalReceiverCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	root := exprRoot(sel.X)
+	if root == nil || !w.isLocal(root) {
+		return false
+	}
+	if obj := w.pass.TypesInfo.Uses[root]; obj != nil {
+		if _, isVar := obj.(*types.Var); !isVar {
+			return false // a range-local package alias cannot exist; be strict
+		}
+	}
+	for _, arg := range call.Args {
+		ok := true
+		ast.Inspect(arg, func(n ast.Node) bool {
+			id, isIdent := n.(*ast.Ident)
+			if !isIdent {
+				return true
+			}
+			if v, isVar := w.pass.TypesInfo.Uses[id].(*types.Var); isVar && v != nil && !w.isLocal(id) {
+				ok = false
+			}
+			return ok
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isIntegerType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,24 @@
+package analysis
+
+// All returns the full determinism-discipline suite in a stable order.
+// arena-vet, the repo-sweep test and the shadowcheck compatibility shim
+// all run exactly this set, so a finding has one name everywhere.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ClockDiscipline,
+		CtxShadow,
+		MapOrder,
+		RngDiscipline,
+		StableSort,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

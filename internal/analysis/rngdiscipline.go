@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// RngDiscipline keeps scheduling and fault randomness on derived,
+// seeded streams. Two rules, enforced in the scheduling/fault zone
+// (internal/{sched,sim,planner,faults,trace,server}):
+//
+//  1. math/rand and math/rand/v2 are banned outright: their generators
+//     are either globally seeded process state or platform-sensitive,
+//     and a single stray call forks the (seed → schedule) function the
+//     paper's reproducibility claims rest on. Every stream must be
+//     derived from the run seed via internal/rng.Derive, which is a
+//     pure function of (seed, stream keys).
+//
+//  2. Package-level rng generator state is banned even for internal/
+//     rng types: a global *rng.SplitMix64 is shared mutable state whose
+//     consumption order depends on goroutine interleaving. Streams
+//     must be derived per entity at the point of use.
+var RngDiscipline = &Analyzer{
+	Name: "rngdiscipline",
+	Doc: "report math/rand use and global RNG state in scheduling/fault code; " +
+		"derive per-entity streams with internal/rng.Derive instead",
+	Scope: []string{
+		"internal/sched", "internal/sim", "internal/planner",
+		"internal/faults", "internal/trace", "internal/server",
+	},
+	SkipTests: true,
+	Run:       runRngDiscipline,
+}
+
+func runRngDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"%s in scheduling/fault code: derive a seeded stream with internal/rng.Derive instead", path)
+			}
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil || obj.Parent() != pass.Pkg.Scope() {
+						continue
+					}
+					if isRNGType(obj.Type()) {
+						pass.Reportf(name.Pos(),
+							"package-level RNG %q is shared mutable stream state: derive a stream at the point of use with internal/rng.Derive", name.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isRNGType reports whether t is (a pointer to) an internal/rng
+// generator or a math/rand source/generator type.
+func isRNGType(t types.Type) bool {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == ModulePath+"/internal/rng" ||
+		path == "math/rand" || path == "math/rand/v2"
+}

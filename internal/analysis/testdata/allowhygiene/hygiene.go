@@ -1,0 +1,16 @@
+package fixture
+
+// Each directive below is defective in a distinct way; none suppresses
+// anything, and each becomes its own finding.
+
+//arena:allow
+func missingName() {}
+
+//arena:allow nosuchcheck because reasons
+func unknownAnalyzer() {}
+
+//arena:allow ctxshadow this suppresses nothing on a clean line
+func stale() {}
+
+//arena:allowance is not a directive at all and must stay invisible
+func notADirective() {}

@@ -1,0 +1,8 @@
+package fixture
+
+import tm "time"
+
+// The typed check sees through import aliases.
+func aliasedNow() tm.Time {
+	return tm.Now() // want `time.Now in scheduling code`
+}

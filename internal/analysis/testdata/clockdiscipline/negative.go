@@ -1,0 +1,15 @@
+package fixture
+
+import "time"
+
+// Durations and duration arithmetic are legal: the ban is on acquiring
+// instants or waiting on the real clock, not on describing time.
+const roundLength = 300 * time.Millisecond
+
+func slack(d time.Duration) time.Duration {
+	return d + roundLength
+}
+
+func format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}

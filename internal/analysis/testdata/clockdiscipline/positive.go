@@ -1,0 +1,25 @@
+package fixture
+
+import "time"
+
+// Direct clock reads in scheduling code: every banned entry point, and
+// through an alias in aliased.go.
+func deadline() time.Time {
+	return time.Now().Add(5 * time.Second) // want `time.Now in scheduling code: take time from internal/clock`
+}
+
+func pause() {
+	time.Sleep(time.Second) // want `time.Sleep in scheduling code`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in scheduling code`
+}
+
+func wait(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `time.After in scheduling code`
+}
+
+func ticker(d time.Duration) *time.Ticker {
+	return time.NewTicker(d) // want `time.NewTicker in scheduling code`
+}

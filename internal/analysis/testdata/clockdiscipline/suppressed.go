@@ -1,0 +1,10 @@
+package fixture
+
+import "time"
+
+// A reasoned suppression: a one-shot startup stamp outside any replayed
+// path.
+func startupStamp() time.Time {
+	//arena:allow clockdiscipline process start stamp, never replayed
+	return time.Now()
+}

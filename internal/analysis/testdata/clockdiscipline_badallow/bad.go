@@ -1,0 +1,8 @@
+package fixture
+
+import "time"
+
+func reasonless() time.Time {
+	//arena:allow clockdiscipline
+	return time.Now()
+}

@@ -1,0 +1,24 @@
+package fixture
+
+import c "context"
+
+// Same-scope reuse produces no new object, so it can never shadow.
+func sameScope(ctx c.Context) {
+	ctx, cancel := c.WithCancel(ctx)
+	defer cancel()
+	_ = ctx
+}
+
+// The callback idiom: a nested function literal's own context.Context
+// parameter is a deliberate rebind, whatever the import is named.
+func callback(ctx c.Context, with func(func(ctx c.Context) error) error) error {
+	_ = ctx
+	return with(func(ctx c.Context) error { return ctx.Err() })
+}
+
+// A renamed local never collides with the parameter.
+func renamed(ctx c.Context) {
+	roundCtx := &roundCtx{n: 1}
+	_ = roundCtx
+	_ = ctx
+}

@@ -1,0 +1,29 @@
+package fixture
+
+import "context"
+
+type roundCtx struct{ n int }
+
+// The sim.RunCtx bug class: a round loop declares a scheduling context
+// under the cancellation context's name, so the cancellation check
+// below keeps working only by accident of statement order.
+func run(ctx context.Context) int {
+	for i := 0; i < 3; i++ {
+		ctx := &roundCtx{n: i} // want `declaration of "ctx" shadows a context.Context parameter \[ctxshadow\]`
+		_ = ctx
+	}
+	if ctx.Err() != nil {
+		return 1
+	}
+	return 0
+}
+
+// Rebinding the name to another context is still a shadow: cancellation
+// stops flowing through the parameter.
+func rebind(ctx context.Context) {
+	{
+		ctx := context.TODO() // want `declaration of "ctx" shadows a context.Context parameter \[ctxshadow\]`
+		_ = ctx
+	}
+	_ = ctx
+}

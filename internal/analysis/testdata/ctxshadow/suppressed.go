@@ -1,0 +1,13 @@
+package fixture
+
+import "context"
+
+// A directive with a reason suppresses the finding on the line below.
+func suppressed(ctx context.Context) {
+	{
+		//arena:allow ctxshadow fixture demonstrates an audited shadow
+		ctx := context.TODO()
+		_ = ctx
+	}
+	_ = ctx
+}

@@ -1,0 +1,14 @@
+package fixture
+
+import "context"
+
+// A reasonless directive suppresses nothing: the shadow below stays a
+// finding and the directive itself becomes one.
+func reasonless(ctx context.Context) {
+	{
+		//arena:allow ctxshadow
+		ctx := context.TODO()
+		_ = ctx
+	}
+	_ = ctx
+}

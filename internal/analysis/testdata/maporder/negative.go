@@ -1,0 +1,54 @@
+package fixture
+
+import "sort"
+
+// The collect-then-sort idiom: the later sort erases insertion order.
+func sortedKeysOf(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Integer accumulation commutes.
+func count(m map[string]bool) int {
+	n := 0
+	for _, on := range m {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// Writes keyed by distinct map keys commute.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// delete on the ranged map is explicitly defined and order-free.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+type counter struct{ n int }
+
+func (c *counter) bump(by int) { c.n += by }
+
+// A method call on a range-local receiver with no outer-variable
+// arguments keeps effects within per-key state.
+func bumpAll(m map[string]*counter) {
+	for _, c := range m {
+		c.bump(1)
+	}
+}

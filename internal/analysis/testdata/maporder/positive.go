@@ -1,0 +1,55 @@
+package fixture
+
+// The PR 8 victim-pick bug: keep-the-first-tie over a map range makes
+// the chosen victim depend on iteration order.
+func pickVictim(score map[string]float64) string {
+	best := ""
+	for id := range score {
+		if best == "" {
+			best = id // want `plain assignment to outer variable "best" keeps an iteration-order-dependent winner`
+		}
+	}
+	return best
+}
+
+func firstKey(m map[string]int) (string, bool) {
+	for k := range m {
+		return k, true // want `return inside a map range makes the result depend on which key is visited first`
+	}
+	return "", false
+}
+
+func emit(m map[string]int, out chan<- string) {
+	for k := range m {
+		out <- k // want `channel send in iteration order`
+	}
+}
+
+// Float addition is not associative: the accumulated bits depend on
+// visit order even though the fold looks commutative.
+func sumLoad(load map[string]float64) float64 {
+	var total float64
+	for _, v := range load {
+		total += v // want `non-integer accumulation into outer "total" is order-dependent`
+	}
+	return total
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `elements appended to "keys" in map iteration order are never sorted afterwards`
+	}
+	return keys
+}
+
+func stopEarly(m map[string]int, limit int) int {
+	n := 0
+	for range m {
+		n++
+		if n == limit {
+			break // want `break exits the map range early`
+		}
+	}
+	return n
+}

@@ -1,0 +1,9 @@
+package fixture
+
+func reasonless(m map[string]int) string {
+	for k := range m {
+		//arena:allow maporder
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,16 @@
+package fixture
+
+import "github.com/sjtu-epcc/arena/internal/rng"
+
+// The discipline: streams derived per entity at the point of use, a
+// pure function of (seed, stream keys).
+func nodeJitter(seed, nodeID uint64) float64 {
+	stream := rng.Derive(seed, nodeID)
+	return stream.Float64()
+}
+
+// Passing a derived stream down is fine; only package-level state is
+// banned.
+func consume(s *rng.SplitMix64, n int) int {
+	return s.Intn(n)
+}

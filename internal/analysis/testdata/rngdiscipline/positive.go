@@ -1,0 +1,22 @@
+package fixture
+
+import (
+	"math/rand"           // want `math/rand in scheduling/fault code: derive a seeded stream with internal/rng.Derive instead`
+	randv2 "math/rand/v2" // want `math/rand/v2 in scheduling/fault code`
+
+	"github.com/sjtu-epcc/arena/internal/rng"
+)
+
+// Package-level generator state is shared mutable stream state, even
+// for the blessed internal/rng types.
+var legacy = rand.New(rand.NewSource(1)) // want `package-level RNG "legacy" is shared mutable stream state`
+
+var pcg = randv2.NewPCG(1, 2) // want `package-level RNG "pcg" is shared mutable stream state`
+
+var shared = rng.New(42) // want `package-level RNG "shared" is shared mutable stream state`
+
+func flip() bool { return legacy.Float64() < 0.5 }
+
+func next() uint64 { return pcg.Uint64() }
+
+func jitter() float64 { return shared.Float64() }

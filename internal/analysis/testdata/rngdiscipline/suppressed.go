@@ -1,0 +1,13 @@
+package fixture
+
+import (
+	//arena:allow rngdiscipline fixture exercises the reasoned-suppression path
+	mrand "math/rand"
+)
+
+// The import above is suppressed with a reason; using the package in a
+// local (non-package-level) position adds no further findings.
+func shuffleInPlace(seed int64, xs []int) {
+	r := mrand.New(mrand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

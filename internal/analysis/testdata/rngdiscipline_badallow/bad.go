@@ -1,0 +1,8 @@
+package fixture
+
+import (
+	//arena:allow rngdiscipline
+	"math/rand"
+)
+
+func roll() int64 { return rand.Int63() }

@@ -1,0 +1,30 @@
+package fixture
+
+import "sort"
+
+type cand struct {
+	score float64
+	rank  int
+}
+
+// The PR 5 frontier bug: a bare metric comparator lets pdqsort pick an
+// arbitrary survivor among equal scores.
+func rankBare(cs []cand) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].score > cs[j].score }) // want `sort.Slice without a tie-break chain`
+}
+
+// An opaque less func proves nothing about the order.
+func rankOpaque(cs []cand, less func(i, j int) bool) {
+	sort.Slice(cs, less) // want `sort.Slice with an opaque less func`
+}
+
+// A guard chain whose final comparison is non-strict violates the sort
+// contract outright, so it is not accepted as a chain.
+func rankNonStrict(cs []cand) {
+	sort.Slice(cs, func(i, j int) bool { // want `sort.Slice without a tie-break chain`
+		if cs[i].score != cs[j].score {
+			return cs[i].score > cs[j].score
+		}
+		return cs[i].rank <= cs[j].rank
+	})
+}

@@ -1,0 +1,8 @@
+package fixture
+
+import "sort"
+
+func reasonless(xs []int) {
+	//arena:allow stablesort
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -12,10 +12,11 @@
 // argument (§4) extended from the policy layer to the loop that invokes
 // it.
 //
-// Scheduling logic must never read time directly: internal/shadowcheck
-// bans time.Now/time.Sleep (and friends) inside internal/{sched,sim,
-// server}, so every time source flows through this interface and a
-// journaled run can be replayed bit-identically.
+// Scheduling logic must never read time directly: the clockdiscipline
+// analyzer (internal/analysis, run by arena-vet) bans time.Now,
+// time.Sleep and friends inside internal/{sched,sim,server}, so every
+// time source flows through this interface and a journaled run can be
+// replayed bit-identically.
 package clock
 
 import (

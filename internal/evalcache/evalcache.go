@@ -2,6 +2,7 @@ package evalcache
 
 import (
 	"math"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -97,6 +98,32 @@ func New(eng *exec.Engine) *Cache {
 
 // Engine returns the engine this cache memoizes.
 func (c *Cache) Engine() *exec.Engine { return c.eng }
+
+// sortedShardsLocked returns the shards in deterministic key order
+// (graph, gpu, gpusPerNode). Persistence paths iterate this instead of
+// the map so hydration order, save order and partial-failure behavior
+// are reproducible. The caller holds mu.
+func (c *Cache) sortedShardsLocked() []*StageShard {
+	keys := make([]shardKey, 0, len(c.shards))
+	for k := range c.shards {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.graph != b.graph {
+			return a.graph < b.graph
+		}
+		if a.gpu != b.gpu {
+			return a.gpu < b.gpu
+		}
+		return a.gpusPerNode < b.gpusPerNode
+	})
+	out := make([]*StageShard, len(keys))
+	for i, k := range keys {
+		out[i] = c.shards[k]
+	}
+	return out
+}
 
 // StageShard is the cache's view of one measurement context: a (graph,
 // device, node-packing) triple. A search session resolves its shard once

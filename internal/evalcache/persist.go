@@ -163,7 +163,7 @@ func (c *Cache) AttachStore(st *store.Store) {
 	defer c.mu.Unlock()
 	c.backing = st
 	c.engineFP = EngineFingerprint(c.eng)
-	for _, sh := range c.shards {
+	for _, sh := range c.sortedShardsLocked() {
 		c.loadShardLocked(sh)
 	}
 }
@@ -268,10 +268,7 @@ func (c *Cache) SaveStore(st *store.Store) error {
 	if c.backing == nil {
 		engineFP = EngineFingerprint(c.eng)
 	}
-	shards := make([]*StageShard, 0, len(c.shards))
-	for _, sh := range c.shards {
-		shards = append(shards, sh)
-	}
+	shards := c.sortedShardsLocked()
 	plans := make(map[planKey]exec.Result, len(c.plans))
 	for k, v := range c.plans {
 		plans[k] = v

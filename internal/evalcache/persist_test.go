@@ -2,8 +2,11 @@ package evalcache
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/sjtu-epcc/arena/internal/exec"
@@ -257,5 +260,65 @@ func TestStoreTruncatedObject(t *testing.T) {
 	c3.MeasureStage(g, stages[0], spec, 16, 0)
 	if s := c3.Stats(); s.StageMisses != 0 {
 		t.Fatal("repaired store should serve hits")
+	}
+}
+
+func TestAttachStoreHydratesInSortedShardOrder(t *testing.T) {
+	// AttachStore hydrates every already-resolved context; skipped-object
+	// errors land in StoreStats().Skipped in hydration order, which must
+	// be the sorted shard-key order (graph, gpu, gpusPerNode), not the
+	// shard map's range order. Six stale objects make an accidentally
+	// sorted map order vanishingly likely (1/6! per attach), so this
+	// fails against a map-range hydration loop.
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := model.MustBuildClustered("GPT-1.3B")
+	engineFP := EngineFingerprint(exec.NewEngine(42))
+	type shardCtx struct {
+		gpu string
+		gpn int
+	}
+	ctxs := []shardCtx{ // sorted shard-key order
+		{"A10", 4}, {"A10", 8}, {"A40", 4}, {"A40", 8}, {"V100", 4}, {"V100", 8},
+	}
+	for _, sc := range ctxs {
+		spec := hw.MustLookup(sc.gpu)
+		key := shardStoreKey(engineFP, GraphFingerprint(g), GPUFingerprint(spec), sc.gpn)
+		stale := shardDump{Seed: 7, Graph: g.Name, GPU: sc.gpu, GPUsPerNode: sc.gpn} // foreign seed
+		if err := st.Put(evalDomain, key, stale); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var first []string
+	for run := 0; run < 4; run++ {
+		c := New(exec.NewEngine(42))
+		for _, i := range []int{3, 0, 5, 2, 4, 1} { // resolve out of order
+			sc := ctxs[i]
+			c.StageShard(g, hw.MustLookup(sc.gpu), sc.gpn)
+		}
+		c.AttachStore(st)
+		skipped := c.StoreStats().Skipped
+		if len(skipped) != len(ctxs) {
+			t.Fatalf("run %d: %d objects skipped, want %d: %v", run, len(skipped), len(ctxs), skipped)
+		}
+		got := make([]string, len(skipped))
+		for i, e := range skipped {
+			got[i] = e.Error()
+		}
+		for i, sc := range ctxs {
+			wantFrag := fmt.Sprintf("want %s/%s/gpn=%d", g.Name, sc.gpu, sc.gpn)
+			if !strings.Contains(got[i], wantFrag) {
+				t.Fatalf("run %d: skip %d = %q, want context %q — hydration out of sorted shard order",
+					run, i, got[i], wantFrag)
+			}
+		}
+		if first == nil {
+			first = got
+		} else if !reflect.DeepEqual(first, got) {
+			t.Fatalf("run %d: skip order diverged from run 0:\n%v\nvs\n%v", run, got, first)
+		}
 	}
 }

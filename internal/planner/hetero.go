@@ -146,7 +146,16 @@ func (pl *Planner) bindHeteroStages(
 		start = end
 	}
 	order := append([]stageInfo(nil), infos...)
-	sort.Slice(order, func(a, b int) bool { return order[a].load > order[b].load })
+	// Load ties resolve by stage index: on the metric alone, sort.Slice's
+	// unstable pdqsort would pick which equally-loaded stage gets the
+	// faster GPU type — a per-Go-release artifact, the same class as the
+	// PR 5 frontier tie bug. The index extension makes the order total.
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].load != order[b].load {
+			return order[a].load > order[b].load
+		}
+		return order[a].idx < order[b].idx
+	})
 
 	remaining := map[string]int{}
 	for t, c := range pool {

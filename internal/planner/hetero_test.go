@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -194,6 +195,54 @@ func TestPlanHeteroDeterministic(t *testing.T) {
 		}
 		if !reflect.DeepEqual(first, again) {
 			t.Fatalf("run %d diverged:\nfirst: %+v\nagain: %+v", i, first, again)
+		}
+	}
+}
+
+func TestPlanHeteroLoadTiesBindByStageIndex(t *testing.T) {
+	// Sixteen single-op stages in two equal-load classes, interleaved:
+	// odd-indexed stages are heavy, even-indexed light. The greedy binder
+	// hands the fast type to the heaviest stages first; within a load
+	// class the winner must be decided by stage index, not by whatever
+	// permutation sort.Slice's pdqsort leaves equal elements in (the
+	// slice is long enough to leave insertion sort's stable small-n
+	// regime, so a bare load comparator scrambles the tie group).
+	const nOps = 16
+	ops := make([]model.Op, nOps)
+	for i := range ops {
+		load := 1.0
+		if i%2 == 1 {
+			load = 2.0
+		}
+		ops[i] = model.Op{
+			Name: fmt.Sprintf("op%02d", i), Kind: model.KindMLP,
+			FLOPs: load * 1e12, Bytes: load * 1e9,
+			ParamBytes: 1e6, ActBytes: 1e6,
+		}
+	}
+	g := &model.Graph{Name: "tie-synthetic", Family: "gpt", SeqLen: 1024, Ops: ops, ActMemFactor: 1}
+
+	// One op per stage means forEachPartition enumerates exactly one
+	// partition, so the binder's choices are the whole plan.
+	plan, err := New().PlanHetero(g, HeteroPool{"H100": 4, "V100": 80}, nOps, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h100 []int
+	for j, st := range plan.Stages {
+		if st.GPUType == "H100" {
+			h100 = append(h100, j)
+		}
+	}
+	if len(h100) == 0 {
+		t.Fatal("no stage bound to H100; pool sizing assumption broken")
+	}
+	// The H100 budget is exhausted inside the heavy tie group, and must
+	// go to its lowest-indexed members: 1, 3, 5, ...
+	for k, j := range h100 {
+		if want := 2*k + 1; j != want {
+			t.Fatalf("H100 stages = %v; tie group bound out of stage-index order (stage %d, want %d)",
+				h100, j, want)
 		}
 	}
 }

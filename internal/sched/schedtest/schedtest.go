@@ -28,6 +28,7 @@ package schedtest
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
@@ -76,7 +77,16 @@ func Check(ctx *sched.Context, asg sched.Assignment, opts Options) error {
 		types[typ] = true
 		balance[typ] = ctx.Cluster.FreeGPUs(typ)
 	}
-	for id, target := range asg.Place {
+	// Iterate placements in sorted id order: fail messages end up in the
+	// returned error, so map-range order would make the report (and any
+	// test asserting on it) differ run to run.
+	placeIDs := make([]string, 0, len(asg.Place))
+	for id := range asg.Place {
+		placeIDs = append(placeIDs, id)
+	}
+	sort.Strings(placeIDs)
+	for _, id := range placeIDs {
+		target := asg.Place[id]
 		j, isRunning := running[id]
 		if !isRunning {
 			var isQueued bool

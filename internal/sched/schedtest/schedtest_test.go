@@ -1,6 +1,8 @@
 package schedtest
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -162,6 +164,36 @@ func TestCheckFlagsViolations(t *testing.T) {
 	pow2 := sched.Assignment{Place: map[string]sched.Alloc{q.Trace.ID: {GPUType: "A40", N: 3}}}
 	if err := Check(ctx, pow2, Options{RequirePow2: true}); err == nil {
 		t.Error("non-power-of-two placement accepted under RequirePow2")
+	}
+}
+
+func TestCheckReportsViolationsInSortedIDOrder(t *testing.T) {
+	// Check's error joins one message per violation; Place is a map, so
+	// without the sorted iteration the placement section of the report
+	// would come out in map-range order — different every call. Eight
+	// unknown ids make an accidentally-sorted order vanishingly likely
+	// (1/8! per call), so this fails against an unsorted loop.
+	cl := mustCluster(t)
+	ctx := &sched.Context{Now: 0, Cluster: cl}
+	asg := sched.Assignment{Place: map[string]sched.Alloc{}}
+	suffixes := []string{"g", "c", "a", "e", "h", "b", "f", "d"}
+	for _, s := range suffixes {
+		asg.Place["ghost-"+s] = sched.Alloc{GPUType: "A40", N: 1}
+	}
+
+	var want []string
+	for _, s := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		want = append(want, fmt.Sprintf("Place[ghost-%s]: unknown job id", s))
+	}
+	wantErr := "schedtest: " + strings.Join(want, "; ")
+	for i := 0; i < 5; i++ {
+		err := Check(ctx, asg, Options{})
+		if err == nil {
+			t.Fatal("unknown placement ids accepted")
+		}
+		if got := err.Error(); got != wantErr {
+			t.Fatalf("call %d: violations not in sorted id order:\n got: %s\nwant: %s", i, got, wantErr)
+		}
 	}
 }
 

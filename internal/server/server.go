@@ -19,7 +19,8 @@
 // clock re-fires the lost round, deterministically reproducing it.
 //
 // Time discipline: the server never reads the wall clock directly
-// (internal/shadowcheck enforces this package-wide); all instants come
+// (the clockdiscipline analyzer in internal/analysis, run by
+// arena-vet, enforces this package-wide); all instants come
 // from the configured internal/clock, so tests drive the very same loop
 // with a stepped clock and the journal's timeline is the only timeline.
 package server

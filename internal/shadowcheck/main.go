@@ -1,42 +1,31 @@
-// Command shadowcheck is the repository's shadow gate: it rejects any
-// declaration that shadows a context.Context-typed parameter in a
-// nested scope. The pattern it exists for: sim.RunCtx once declared
-// `ctx := &sched.Context{...}` inside its round loop, shadowing the
-// `ctx context.Context` parameter — the cancellation check read the
-// right variable only by accident of statement order, and any later
-// edit touching the loop could silently stop honouring cancellation.
+// Command shadowcheck is the deprecated predecessor of arena-vet.
 //
-// The check is deliberately narrower than the x/tools shadow analyzer:
-// shadowing a cancellation context is never intentional in this tree
-// (rename the local instead), while a general shadow lint drowns that
-// signal in idiomatic `err :=` noise. It is pure go/ast — no type
-// information, no dependencies — so it runs offline, in CI (see
-// .github/workflows/ci.yml), and inside `go test ./...` via its own
-// package test, which sweeps the whole repository.
+// It remains as a thin shim so existing invocations (scripts, muscle
+// memory, `go run ./internal/shadowcheck .`) keep working: the two
+// checks it used to implement syntactically — context-parameter
+// shadowing and the scheduling-code clock discipline — now run as the
+// ctxshadow and clockdiscipline analyzers of internal/analysis, which
+// type-check the module instead of pattern-matching its syntax and are
+// joined there by maporder, stablesort and rngdiscipline.
 //
-// It also enforces the repository's clock discipline: scheduling code
-// (non-test files under internal/sched, internal/sim and internal/
-// server) must never read time directly — time.Now, time.Sleep and
-// friends are banned there, so every instant flows through the
-// internal/clock interface and a journaled server run replays
-// bit-identically on a virtual clock. Test files are exempt (tests
-// legitimately sleep waiting for goroutines), as is the rest of the
-// tree (internal/clock itself wraps the real clock; internal/store
-// backs off with real sleeps).
+// Prefer either of:
 //
-// Usage: go run ./internal/shadowcheck <dir>...
-// Exit status 1 means at least one violation was found.
+//	go run ./cmd/arena-vet ./...
+//	go vet -vettool=$(which arena-vet) ./...
+//
+// which run the full suite. This shim runs only the original two
+// checks, with the original contract: directories as arguments
+// (default "."), findings on stdout, exit 1 on findings, exit 2 on
+// errors.
 package main
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"github.com/sjtu-epcc/arena/internal/analysis"
 )
 
 func main() {
@@ -44,324 +33,60 @@ func main() {
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
-	var diags []string
+	fmt.Fprintln(os.Stderr,
+		"shadowcheck: deprecated; use `go run ./cmd/arena-vet ./...` for the full analyzer suite")
+
+	checks := []*analysis.Analyzer{analysis.CtxShadow, analysis.ClockDiscipline}
+	found := false
 	for _, root := range roots {
-		ds, err := checkTree(root)
+		modRoot, err := analysis.FindModuleRoot(root)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shadowcheck: %v\n", err)
 			os.Exit(2)
 		}
-		diags = append(diags, ds...)
+		pattern, err := dirPattern(modRoot, root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shadowcheck: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := analysis.LoadModule(analysis.LoadConfig{Dir: modRoot, Patterns: []string{pattern}})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shadowcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, pkg := range res.Packages {
+			diags, err := analysis.RunPackage(pkg, checks)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shadowcheck: %v\n", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Println(d)
+				found = true
+			}
+		}
 	}
-	for _, d := range diags {
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
+	if found {
 		os.Exit(1)
 	}
 }
 
-// checkTree walks a directory tree and checks every .go file.
-func checkTree(root string) ([]string, error) {
-	var diags []string
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if name != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		ds, err := checkFile(path)
-		if err != nil {
-			return err
-		}
-		diags = append(diags, ds...)
-		return nil
-	})
-	return diags, err
-}
-
-// Tracking levels for a context-parameter name, relative to the function
-// body being walked: an own parameter is reused (not shadowed) by a
-// same-scope `:=`, while a name captured from an enclosing function is
-// shadowed by any declaration inside the literal, including top-level.
-const (
-	ownParam = iota + 1
-	captured
-)
-
-// checkFile parses one file and reports context-parameter shadows.
-func checkFile(path string) ([]string, error) {
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+// dirPattern converts a directory argument into a package pattern
+// relative to the module root.
+func dirPattern(modRoot, dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
-	var diags []string
-	report := func(pos token.Pos, name string) {
-		p := fset.Position(pos)
-		diags = append(diags, fmt.Sprintf("%s: declaration of %q shadows a context.Context parameter", p, name))
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil {
+		return "", err
 	}
-	for _, decl := range f.Decls {
-		fn, ok := decl.(*ast.FuncDecl)
-		if !ok || fn.Body == nil {
-			continue
-		}
-		names := map[string]int{}
-		for name := range ctxParams(fn.Type) {
-			names[name] = ownParam
-		}
-		walkBody(fn.Body, names, report)
+	if rel == "." {
+		return "./...", nil
 	}
-	if clockBanned(path) {
-		diags = append(diags, checkClock(fset, f)...)
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, modRoot)
 	}
-	return diags, nil
-}
-
-// bannedTimeFuncs are the package-time entry points that read or wait on
-// the real clock. Types and constants (time.Duration, time.Second) stay
-// legal — the ban is on acquiring instants, not on describing durations.
-var bannedTimeFuncs = map[string]bool{
-	"Now": true, "Sleep": true, "Since": true, "Until": true,
-	"After": true, "AfterFunc": true, "Tick": true,
-	"NewTicker": true, "NewTimer": true,
-}
-
-// clockBanned reports whether a file lives in the clock-disciplined
-// zone: scheduling logic whose every instant must come from
-// internal/clock so journaled runs replay bit-identically.
-func clockBanned(path string) bool {
-	p := filepath.ToSlash(path)
-	if strings.HasSuffix(p, "_test.go") {
-		return false
-	}
-	for _, zone := range []string{"internal/sched/", "internal/sim/", "internal/server/"} {
-		if strings.Contains(p, zone) {
-			return true
-		}
-	}
-	return false
-}
-
-// checkClock flags direct real-clock reads in a clock-disciplined file.
-// Matching is syntactic, like the rest of this tool: any selector on the
-// file's `time` import hitting a banned name. A local variable named
-// `time` could in principle false-positive; this tree never writes one.
-func checkClock(fset *token.FileSet, f *ast.File) []string {
-	timeNames := map[string]bool{}
-	for _, imp := range f.Imports {
-		if imp.Path.Value != `"time"` {
-			continue
-		}
-		name := "time"
-		if imp.Name != nil {
-			name = imp.Name.Name
-		}
-		if name == "_" || name == "." {
-			continue
-		}
-		timeNames[name] = true
-	}
-	if len(timeNames) == 0 {
-		return nil
-	}
-	var diags []string
-	ast.Inspect(f, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		if id, ok := sel.X.(*ast.Ident); ok && timeNames[id.Name] && bannedTimeFuncs[sel.Sel.Name] {
-			p := fset.Position(sel.Pos())
-			diags = append(diags, fmt.Sprintf("%s: %s.%s in scheduling code: take time from internal/clock so journaled runs replay deterministically", p, id.Name, sel.Sel.Name))
-		}
-		return true
-	})
-	return diags
-}
-
-// ctxParams returns the names of a function's context.Context-typed
-// parameters (matched syntactically — the conventional spelling).
-func ctxParams(ft *ast.FuncType) map[string]bool {
-	names := map[string]bool{}
-	if ft.Params == nil {
-		return names
-	}
-	for _, field := range ft.Params.List {
-		sel, ok := field.Type.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Context" {
-			continue
-		}
-		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "context" {
-			continue
-		}
-		for _, name := range field.Names {
-			if name.Name != "_" {
-				names[name.Name] = true
-			}
-		}
-	}
-	return names
-}
-
-// walkBody walks a function's outermost block, where `:=` reuses an own
-// parameter (Go forbids a same-scope redeclaration) but still shadows a
-// captured name.
-func walkBody(body *ast.BlockStmt, names map[string]int, report func(token.Pos, string)) {
-	for _, st := range body.List {
-		walkStmt(st, names, false, report)
-	}
-}
-
-// walkStmt inspects one statement. nested reports whether the statement
-// sits in a scope below the function's outermost block, where a `:=` of
-// any tracked name declares a fresh (shadowing) variable.
-func walkStmt(st ast.Stmt, names map[string]int, nested bool, report func(token.Pos, string)) {
-	shadows := func(name string) bool {
-		lvl, ok := names[name]
-		return ok && (nested || lvl == captured)
-	}
-	switch s := st.(type) {
-	case *ast.AssignStmt:
-		if s.Tok == token.DEFINE {
-			for _, e := range s.Lhs {
-				if id, ok := e.(*ast.Ident); ok && shadows(id.Name) {
-					report(id.Pos(), id.Name)
-				}
-			}
-		}
-		for _, rhs := range s.Rhs {
-			walkExpr(rhs, names, report)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for _, name := range vs.Names {
-					if shadows(name.Name) {
-						report(name.Pos(), name.Name)
-					}
-				}
-				for _, v := range vs.Values {
-					walkExpr(v, names, report)
-				}
-			}
-		}
-	case *ast.BlockStmt:
-		for _, inner := range s.List {
-			walkStmt(inner, names, true, report)
-		}
-	case *ast.IfStmt:
-		walkInit(s.Init, names, report)
-		walkExpr(s.Cond, names, report)
-		walkStmt(s.Body, names, true, report)
-		if s.Else != nil {
-			walkStmt(s.Else, names, true, report)
-		}
-	case *ast.ForStmt:
-		walkInit(s.Init, names, report)
-		walkExpr(s.Cond, names, report)
-		if s.Post != nil {
-			walkStmt(s.Post, names, true, report)
-		}
-		walkStmt(s.Body, names, true, report)
-	case *ast.RangeStmt:
-		if s.Tok == token.DEFINE {
-			for _, e := range []ast.Expr{s.Key, s.Value} {
-				if id, ok := e.(*ast.Ident); ok && names[id.Name] != 0 {
-					report(id.Pos(), id.Name) // range vars always open a new scope
-				}
-			}
-		}
-		walkExpr(s.X, names, report)
-		walkStmt(s.Body, names, true, report)
-	case *ast.SwitchStmt:
-		walkInit(s.Init, names, report)
-		walkExpr(s.Tag, names, report)
-		walkStmt(s.Body, names, true, report)
-	case *ast.TypeSwitchStmt:
-		walkInit(s.Init, names, report)
-		walkStmt(s.Assign, names, true, report)
-		walkStmt(s.Body, names, true, report)
-	case *ast.SelectStmt:
-		walkStmt(s.Body, names, true, report)
-	case *ast.CaseClause:
-		for _, inner := range s.Body {
-			walkStmt(inner, names, true, report)
-		}
-	case *ast.CommClause:
-		if s.Comm != nil {
-			walkStmt(s.Comm, names, true, report)
-		}
-		for _, inner := range s.Body {
-			walkStmt(inner, names, true, report)
-		}
-	case *ast.LabeledStmt:
-		walkStmt(s.Stmt, names, nested, report)
-	case *ast.ExprStmt:
-		walkExpr(s.X, names, report)
-	case *ast.GoStmt:
-		walkExpr(s.Call, names, report)
-	case *ast.DeferStmt:
-		walkExpr(s.Call, names, report)
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			walkExpr(e, names, report)
-		}
-	case *ast.SendStmt:
-		walkExpr(s.Chan, names, report)
-		walkExpr(s.Value, names, report)
-	}
-}
-
-// walkInit handles the implicit scope of an if/for/switch initializer:
-// `if ctx := ...; ...` shadows exactly like a declaration in the body.
-func walkInit(st ast.Stmt, names map[string]int, report func(token.Pos, string)) {
-	if st != nil {
-		walkStmt(st, names, true, report)
-	}
-}
-
-// walkExpr descends into expressions looking for function literals. A
-// literal's tracking set demotes the enclosing function's names to
-// captured (any redeclaration inside the literal shadows them), removes
-// names the literal rebinds as parameters of a non-context type, and
-// adds the literal's own context parameters as own.
-func walkExpr(e ast.Expr, names map[string]int, report func(token.Pos, string)) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		lit, ok := n.(*ast.FuncLit)
-		if !ok {
-			return true
-		}
-		inner := map[string]int{}
-		for name := range names {
-			inner[name] = captured
-		}
-		if lit.Type.Params != nil {
-			for _, field := range lit.Type.Params.List {
-				for _, name := range field.Names {
-					delete(inner, name.Name)
-				}
-			}
-		}
-		for name := range ctxParams(lit.Type) {
-			inner[name] = ownParam
-		}
-		walkBody(lit.Body, inner, report)
-		return false // walkBody descends further
-	})
+	return "./" + filepath.ToSlash(rel) + "/...", nil
 }
